@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation: tag-probe filtering vs the confidence filter of [15].
+ *
+ * The paper (Section 2.4) describes the confidence alternative as a
+ * way to avoid duplicating the I-cache tags entirely; this bench
+ * compares tag-port pressure, accuracy and performance of the two
+ * approaches on the discontinuity prefetcher.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ipref;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv, 0.4);
+
+    Table t("Ablation: tag probing vs confidence filter "
+            "(discontinuity + bypass, 4-way CMP)");
+    t.header({"Workload", "mode", "tag probes/1k", "suppressed/1k",
+              "issued/1k", "coverage", "accuracy", "speedup"});
+
+    for (WorkloadKind k : {WorkloadKind::DB, WorkloadKind::JAPP}) {
+        RunSpec base_spec;
+        base_spec.cmp = true;
+        base_spec.workloads = {k};
+        base_spec.instrScale = ctx.scale;
+        SimResults base = runSpec(base_spec);
+
+        for (bool confidence : {false, true}) {
+            RunSpec spec = base_spec;
+            spec.scheme = PrefetchScheme::Discontinuity;
+            spec.bypassL2 = true;
+            SystemConfig cfg = makeConfig(spec);
+            cfg.prefetch.useConfidenceFilter = confidence;
+            System system(cfg);
+            SimResults r = system.run();
+            double per_k =
+                1000.0 / static_cast<double>(r.instructions);
+            std::uint64_t suppressed =
+                r.pfCandidates - r.pfFiltered - r.pfIssued;
+            t.row({workloadName(k),
+                   confidence ? "confidence [15]" : "tag probe",
+                   Table::num(static_cast<double>(r.pfTagProbes) *
+                                  per_k,
+                              2),
+                   Table::num(static_cast<double>(suppressed) *
+                                  per_k,
+                              2),
+                   Table::num(static_cast<double>(r.pfIssued) *
+                                  per_k,
+                              2),
+                   Table::pct(r.l1iCoverage(), 1),
+                   Table::pct(r.pfAccuracy(), 1),
+                   Table::num(speedup(base, r), 3) + "X"});
+        }
+    }
+    ctx.emit(t);
+    return 0;
+}

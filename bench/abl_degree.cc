@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: prefetch-ahead distance N for the discontinuity
+ * prefetcher. The paper settles on N=4 as the balance between
+ * timeliness and accuracy (Section 4), with N=2 ("2NL") as the
+ * bandwidth-friendly alternative (Figure 9). This sweep regenerates
+ * that trade-off curve.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ipref;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv, 0.4);
+    const std::vector<WorkloadKind> kinds = {WorkloadKind::DB,
+                                             WorkloadKind::JAPP};
+
+    Table t("Ablation: discontinuity prefetch-ahead distance N "
+            "(4-way CMP, with bypass)");
+    std::vector<std::string> header = {"N"};
+    std::vector<SimResults> baselines;
+    for (WorkloadKind k : kinds) {
+        for (const char *m : {"cov", "acc", "speedup"})
+            header.push_back(std::string(workloadName(k)) + " " + m);
+        RunSpec spec;
+        spec.cmp = true;
+        spec.workloads = {k};
+        spec.instrScale = ctx.scale;
+        baselines.push_back(runSpec(spec));
+    }
+    t.header(header);
+
+    for (unsigned n : {1u, 2u, 3u, 4u, 6u, 8u}) {
+        std::vector<std::string> row = {std::to_string(n)};
+        std::size_t wi = 0;
+        for (WorkloadKind k : kinds) {
+            RunSpec spec;
+            spec.cmp = true;
+            spec.workloads = {k};
+            spec.scheme = PrefetchScheme::Discontinuity;
+            spec.degree = n;
+            spec.bypassL2 = true;
+            spec.instrScale = ctx.scale;
+            SimResults r = runSpec(spec);
+            row.push_back(Table::pct(r.l1iCoverage(), 1));
+            row.push_back(Table::pct(r.pfAccuracy(), 1));
+            row.push_back(
+                Table::num(speedup(baselines[wi], r), 3) + "X");
+            ++wi;
+        }
+        t.row(row);
+    }
+    ctx.emit(t);
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: related-work baselines beyond the paper's main four —
+ * the lookahead-N scheme of [4] (prefetch only line L+N) and the
+ * classic multi-target history ("target") prefetcher of [1,5] with
+ * varying ways — compared against next-N-line and the discontinuity
+ * prefetcher.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ipref;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv, 0.4);
+    const std::vector<WorkloadKind> kinds = {WorkloadKind::DB,
+                                             WorkloadKind::JAPP};
+
+    struct Variant
+    {
+        std::string label;
+        PrefetchScheme scheme;
+        unsigned degree;
+        unsigned ways;
+    };
+    const std::vector<Variant> variants = {
+        {"next-4-lines (tagged)", PrefetchScheme::NextNLineTagged, 4,
+         2},
+        {"lookahead-4", PrefetchScheme::LookaheadN, 4, 2},
+        {"target (1 way)", PrefetchScheme::TargetHistory, 1, 1},
+        {"target (2 ways)", PrefetchScheme::TargetHistory, 1, 2},
+        {"target (4 ways)", PrefetchScheme::TargetHistory, 1, 4},
+        {"wrong-path", PrefetchScheme::WrongPath, 2, 2},
+        {"call-graph [8]", PrefetchScheme::CallGraph, 2, 2},
+        {"discontinuity", PrefetchScheme::Discontinuity, 4, 2},
+    };
+
+    Table t("Ablation: related-work baselines (4-way CMP, with "
+            "bypass)");
+    std::vector<std::string> header = {"Scheme"};
+    std::vector<SimResults> baselines;
+    for (WorkloadKind k : kinds) {
+        for (const char *m : {"miss(norm)", "acc", "speedup"})
+            header.push_back(std::string(workloadName(k)) + " " + m);
+        RunSpec spec;
+        spec.cmp = true;
+        spec.workloads = {k};
+        spec.instrScale = ctx.scale;
+        baselines.push_back(runSpec(spec));
+    }
+    t.header(header);
+
+    for (const auto &v : variants) {
+        std::vector<std::string> row = {v.label};
+        std::size_t wi = 0;
+        for (WorkloadKind k : kinds) {
+            RunSpec spec;
+            spec.cmp = true;
+            spec.workloads = {k};
+            spec.scheme = v.scheme;
+            spec.degree = v.degree;
+            spec.targetWays = v.ways;
+            spec.bypassL2 = true;
+            spec.instrScale = ctx.scale;
+            SimResults r = runSpec(spec);
+            double base = baselines[wi].l1iMissPerInstr();
+            row.push_back(Table::num(
+                base > 0 ? r.l1iMissPerInstr() / base : 0.0, 3));
+            row.push_back(Table::pct(r.pfAccuracy(), 1));
+            row.push_back(
+                Table::num(speedup(baselines[wi], r), 3) + "X");
+            ++wi;
+        }
+        t.row(row);
+    }
+    ctx.emit(t);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: scaling,
+ * output selection and common run patterns.
+ *
+ * Every bench accepts:
+ *   --scale X   multiply the default instruction budgets (also via
+ *               the IPREF_SCALE environment variable; both compose)
+ *   --csv       print comma-separated values instead of tables
+ */
+
+#ifndef IPREF_BENCH_BENCH_COMMON_HH
+#define IPREF_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "util/options.hh"
+#include "util/table.hh"
+
+namespace ipref
+{
+
+/** Parsed bench context. */
+struct BenchContext
+{
+    BenchContext(int argc, char **argv, double defaultScale = 0.3)
+        : opts(argc, argv)
+    {
+        scale = defaultScale * envScale() *
+                opts.getDouble("scale", 1.0);
+        csv = opts.getBool("csv");
+    }
+
+    /** Emit a finished table in the chosen format. */
+    void
+    emit(const Table &table) const
+    {
+        if (csv)
+            table.printCsv(std::cout);
+        else
+            table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    Options opts;
+    double scale = 1.0;
+    bool csv = false;
+};
+
+/** Speedup of @p x over @p base (paper's "performance improvement"). */
+inline double
+speedup(const SimResults &base, const SimResults &x)
+{
+    return base.ipc > 0 ? x.ipc / base.ipc : 0.0;
+}
+
+/** The prefetching schemes compared in Figures 5-9. */
+inline const std::vector<PrefetchScheme> &
+paperSchemes()
+{
+    static const std::vector<PrefetchScheme> schemes = {
+        PrefetchScheme::NextLineOnMiss,
+        PrefetchScheme::NextLineTagged,
+        PrefetchScheme::NextNLineTagged,
+        PrefetchScheme::Discontinuity,
+    };
+    return schemes;
+}
+
+} // namespace ipref
+
+#endif // IPREF_BENCH_BENCH_COMMON_HH

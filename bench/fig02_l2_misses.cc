@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 2: L2 cache instruction miss rates (% per retired
+ * instruction) for a single-core processor and a 4-way CMP as the L2
+ * capacity varies over 1/2/4 MB (4-way, 64B lines).
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ipref;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv, 0.6);
+
+    Table t("Figure 2: L2 instruction miss rate (% per instruction)");
+    std::vector<std::string> header = {"Configuration"};
+    for (const auto &ws : figureWorkloads(true))
+        header.push_back(ws.label);
+    t.header(header);
+
+    for (std::uint64_t mb : {1, 2, 4}) {
+        for (bool cmp : {false, true}) {
+            std::vector<std::string> row = {
+                std::to_string(mb) + "MB " +
+                (cmp ? "4-way CMP" : "single core")};
+            for (const auto &ws : figureWorkloads(true)) {
+                RunSpec spec;
+                spec.cmp = cmp;
+                spec.workloads = ws.kinds;
+                spec.functional = true;
+                spec.l2Bytes = mb << 20;
+                spec.instrScale = ctx.scale;
+                SimResults r = runSpec(spec);
+                row.push_back(Table::pct(r.l2iMissPerInstr(), 3));
+            }
+            t.row(row);
+        }
+    }
+    ctx.emit(t);
+    return 0;
+}

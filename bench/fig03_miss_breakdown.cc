@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 3: breakdown of instruction misses by fetch-transition
+ * category — (i) L1I misses on a single core, (ii) L2 instruction
+ * misses on a single core, (iii) L2 instruction misses on the 4-way
+ * CMP (including the Mixed workload).
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ipref;
+
+namespace
+{
+
+void
+breakdownTable(const BenchContext &ctx, const char *title, bool cmp,
+               bool l2, bool include_mix)
+{
+    Table t(title);
+    std::vector<std::string> header = {"Category"};
+    std::vector<SimResults> results;
+    for (const auto &ws : figureWorkloads(include_mix)) {
+        header.push_back(ws.label);
+        RunSpec spec;
+        spec.cmp = cmp;
+        spec.workloads = ws.kinds;
+        spec.functional = true;
+        spec.instrScale = ctx.scale;
+        results.push_back(runSpec(spec));
+    }
+    t.header(header);
+
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(FetchTransition::NumTransitions);
+         ++c) {
+        std::vector<std::string> row = {
+            transitionName(static_cast<FetchTransition>(c))};
+        for (const auto &r : results) {
+            const auto &by =
+                l2 ? r.l2iMissByTransition : r.l1iMissByTransition;
+            std::uint64_t total = 0;
+            for (auto v : by)
+                total += v;
+            double frac =
+                total ? static_cast<double>(by[c]) /
+                            static_cast<double>(total)
+                      : 0.0;
+            row.push_back(Table::pct(frac, 1));
+        }
+        t.row(row);
+    }
+    ctx.emit(t);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv, 0.6);
+    breakdownTable(ctx, "Figure 3(i): L1I miss breakdown (single core)",
+                   false, false, false);
+    breakdownTable(ctx,
+                   "Figure 3(ii): L2 instruction miss breakdown "
+                   "(single core)",
+                   false, true, false);
+    breakdownTable(ctx,
+                   "Figure 3(iii): L2 instruction miss breakdown "
+                   "(4-way CMP)",
+                   true, true, true);
+    return 0;
+}

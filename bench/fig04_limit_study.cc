@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 4: performance improvement achievable by *eliminating*
+ * instruction misses of selected categories (sequential / branch /
+ * function-call) — the limit study motivating the prefetcher design.
+ * (i) single core, (ii) 4-way CMP.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ipref;
+
+namespace
+{
+
+using Eliminate =
+    std::array<bool, static_cast<std::size_t>(MissGroup::NumGroups)>;
+
+Eliminate
+groups(bool seq, bool branch, bool func)
+{
+    Eliminate e{};
+    e[static_cast<std::size_t>(MissGroup::Sequential)] = seq;
+    e[static_cast<std::size_t>(MissGroup::Branch)] = branch;
+    e[static_cast<std::size_t>(MissGroup::Function)] = func;
+    // Traps are negligible (paper §3.2); fold them into Function for
+    // the "all" configuration only.
+    e[static_cast<std::size_t>(MissGroup::Trap)] =
+        seq && branch && func;
+    return e;
+}
+
+void
+limitTable(const BenchContext &ctx, const char *title, bool cmp,
+           bool include_mix)
+{
+    const std::vector<std::pair<const char *, Eliminate>> series = {
+        {"Sequential only", groups(true, false, false)},
+        {"Branch only", groups(false, true, false)},
+        {"Function only", groups(false, false, true)},
+        {"Sequential + Branch", groups(true, true, false)},
+        {"Sequential + Function", groups(true, false, true)},
+        {"Seq + Branch + Function", groups(true, true, true)},
+    };
+
+    Table t(title);
+    std::vector<std::string> header = {"Eliminated misses"};
+    std::vector<SimResults> baselines;
+    for (const auto &ws : figureWorkloads(include_mix)) {
+        header.push_back(ws.label);
+        RunSpec spec;
+        spec.cmp = cmp;
+        spec.workloads = ws.kinds;
+        spec.instrScale = ctx.scale;
+        baselines.push_back(runSpec(spec));
+    }
+    t.header(header);
+
+    for (const auto &[label, eliminate] : series) {
+        std::vector<std::string> row = {label};
+        std::size_t wi = 0;
+        for (const auto &ws : figureWorkloads(include_mix)) {
+            RunSpec spec;
+            spec.cmp = cmp;
+            spec.workloads = ws.kinds;
+            spec.instrScale = ctx.scale;
+            spec.idealEliminate = eliminate;
+            SimResults r = runSpec(spec);
+            row.push_back(
+                Table::num(speedup(baselines[wi], r), 3) + "X");
+            ++wi;
+        }
+        t.row(row);
+    }
+    ctx.emit(t);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv, 0.3);
+    limitTable(ctx,
+               "Figure 4(i): speedup from eliminating misses "
+               "(single core)",
+               false, false);
+    limitTable(ctx,
+               "Figure 4(ii): speedup from eliminating misses "
+               "(4-way CMP)",
+               true, true);
+    return 0;
+}

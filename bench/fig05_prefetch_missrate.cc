@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 5: instruction miss rates under each HW prefetching scheme,
+ * normalized to no prefetching — (i) the instruction cache,
+ * (ii) the L2 (single core), (iii) the L2 (4-way CMP).
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ipref;
+
+namespace
+{
+
+void
+missTable(const BenchContext &ctx, const char *title, bool cmp,
+          bool l2, bool include_mix)
+{
+    Table t(title);
+    std::vector<std::string> header = {"Scheme"};
+    std::vector<SimResults> baselines;
+    for (const auto &ws : figureWorkloads(include_mix)) {
+        header.push_back(ws.label);
+        RunSpec spec;
+        spec.cmp = cmp;
+        spec.workloads = ws.kinds;
+        spec.instrScale = ctx.scale;
+        baselines.push_back(runSpec(spec));
+    }
+    t.header(header);
+
+    for (PrefetchScheme scheme : paperSchemes()) {
+        std::vector<std::string> row = {schemeName(scheme)};
+        std::size_t wi = 0;
+        for (const auto &ws : figureWorkloads(include_mix)) {
+            RunSpec spec;
+            spec.cmp = cmp;
+            spec.workloads = ws.kinds;
+            spec.scheme = scheme;
+            spec.instrScale = ctx.scale;
+            SimResults r = runSpec(spec);
+            double rate = l2 ? r.l2iMissPerInstr()
+                             : r.l1iMissPerInstr();
+            double base = l2 ? baselines[wi].l2iMissPerInstr()
+                             : baselines[wi].l1iMissPerInstr();
+            row.push_back(
+                Table::num(base > 0 ? rate / base : 0.0, 3));
+            ++wi;
+        }
+        t.row(row);
+    }
+    ctx.emit(t);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv, 0.3);
+    missTable(ctx,
+              "Figure 5(i): L1I miss rate, normalized to no prefetch "
+              "(single core)",
+              false, false, false);
+    missTable(ctx,
+              "Figure 5(ii): L2 instruction miss rate, normalized "
+              "(single core)",
+              false, true, false);
+    missTable(ctx,
+              "Figure 5(iii): L2 instruction miss rate, normalized "
+              "(4-way CMP)",
+              true, true, true);
+    return 0;
+}

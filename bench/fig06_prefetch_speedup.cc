@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 6: performance gains of each HW prefetching scheme relative
+ * to no prefetching, WITHOUT the selective-L2-install optimization —
+ * (i) single core, (ii) 4-way CMP. L2 data pollution caps these
+ * gains (compare with Figure 8).
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ipref;
+
+namespace
+{
+
+void
+speedupTable(const BenchContext &ctx, const char *title, bool cmp,
+             bool include_mix, bool bypass)
+{
+    Table t(title);
+    std::vector<std::string> header = {"Scheme"};
+    std::vector<SimResults> baselines;
+    for (const auto &ws : figureWorkloads(include_mix)) {
+        header.push_back(ws.label);
+        RunSpec spec;
+        spec.cmp = cmp;
+        spec.workloads = ws.kinds;
+        spec.instrScale = ctx.scale;
+        baselines.push_back(runSpec(spec));
+    }
+    t.header(header);
+
+    for (PrefetchScheme scheme : paperSchemes()) {
+        std::vector<std::string> row = {schemeName(scheme)};
+        std::size_t wi = 0;
+        for (const auto &ws : figureWorkloads(include_mix)) {
+            RunSpec spec;
+            spec.cmp = cmp;
+            spec.workloads = ws.kinds;
+            spec.scheme = scheme;
+            spec.bypassL2 = bypass;
+            spec.instrScale = ctx.scale;
+            SimResults r = runSpec(spec);
+            row.push_back(
+                Table::num(speedup(baselines[wi], r), 3) + "X");
+            ++wi;
+        }
+        t.row(row);
+    }
+    ctx.emit(t);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv, 0.8);
+    speedupTable(ctx,
+                 "Figure 6(i): prefetcher speedups, no L2 bypass "
+                 "(single core)",
+                 false, false, false);
+    speedupTable(ctx,
+                 "Figure 6(ii): prefetcher speedups, no L2 bypass "
+                 "(4-way CMP)",
+                 true, true, false);
+    return 0;
+}

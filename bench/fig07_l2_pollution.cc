@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 7: L2 cache DATA miss rate under each instruction
+ * prefetcher, normalized to no prefetching — the pollution effect of
+ * speculative instruction lines displacing data from the shared L2.
+ * (i) single core, (ii) 4-way CMP.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ipref;
+
+namespace
+{
+
+void
+pollutionTable(const BenchContext &ctx, const char *title, bool cmp,
+               bool include_mix)
+{
+    Table t(title);
+    std::vector<std::string> header = {"Scheme"};
+    std::vector<SimResults> baselines;
+    for (const auto &ws : figureWorkloads(include_mix)) {
+        header.push_back(ws.label);
+        RunSpec spec;
+        spec.cmp = cmp;
+        spec.workloads = ws.kinds;
+        spec.instrScale = ctx.scale;
+        baselines.push_back(runSpec(spec));
+    }
+    t.header(header);
+
+    for (PrefetchScheme scheme : paperSchemes()) {
+        std::vector<std::string> row = {schemeName(scheme)};
+        std::size_t wi = 0;
+        for (const auto &ws : figureWorkloads(include_mix)) {
+            RunSpec spec;
+            spec.cmp = cmp;
+            spec.workloads = ws.kinds;
+            spec.scheme = scheme;
+            spec.instrScale = ctx.scale;
+            SimResults r = runSpec(spec);
+            double base = baselines[wi].l2dMissPerInstr();
+            row.push_back(Table::num(
+                base > 0 ? r.l2dMissPerInstr() / base : 0.0, 3));
+            ++wi;
+        }
+        t.row(row);
+    }
+    ctx.emit(t);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv, 0.8);
+    pollutionTable(ctx,
+                   "Figure 7(i): L2 data miss rate, normalized to no "
+                   "prefetch (single core)",
+                   false, false);
+    pollutionTable(ctx,
+                   "Figure 7(ii): L2 data miss rate, normalized to no "
+                   "prefetch (4-way CMP)",
+                   true, true);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 9: (i) prefetch accuracy of each scheme on the 4-way CMP,
+ * and (ii) the performance of the next-2-line discontinuity
+ * prefetcher ("discont 2NL") — trading timeliness for accuracy —
+ * against the other schemes (with L2-bypass, as in Figure 8).
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ipref;
+
+namespace
+{
+
+struct SchemeSpec
+{
+    std::string label;
+    PrefetchScheme scheme;
+    unsigned degree;
+};
+
+const std::vector<SchemeSpec> &
+schemesWith2NL()
+{
+    static const std::vector<SchemeSpec> schemes = {
+        {"next-line (on miss)", PrefetchScheme::NextLineOnMiss, 1},
+        {"next-line (tagged)", PrefetchScheme::NextLineTagged, 1},
+        {"next-4-lines (tagged)", PrefetchScheme::NextNLineTagged, 4},
+        {"discontinuity", PrefetchScheme::Discontinuity, 4},
+        {"discont (2NL)", PrefetchScheme::Discontinuity, 2},
+    };
+    return schemes;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv, 0.8);
+
+    std::vector<std::string> header = {"Scheme"};
+    std::vector<SimResults> baselines;
+    for (const auto &ws : figureWorkloads(true)) {
+        header.push_back(ws.label);
+        RunSpec spec;
+        spec.cmp = true;
+        spec.workloads = ws.kinds;
+        spec.instrScale = ctx.scale;
+        baselines.push_back(runSpec(spec));
+    }
+
+    Table acc("Figure 9(i): prefetch accuracy (4-way CMP)");
+    Table perf("Figure 9(ii): speedup incl. discont (2NL) "
+               "(4-way CMP, with bypass)");
+    acc.header(header);
+    perf.header(header);
+
+    for (const auto &ss : schemesWith2NL()) {
+        std::vector<std::string> arow = {ss.label};
+        std::vector<std::string> prow = {ss.label};
+        std::size_t wi = 0;
+        for (const auto &ws : figureWorkloads(true)) {
+            RunSpec spec;
+            spec.cmp = true;
+            spec.workloads = ws.kinds;
+            spec.scheme = ss.scheme;
+            spec.degree = ss.degree;
+            spec.bypassL2 = true;
+            spec.instrScale = ctx.scale;
+            SimResults r = runSpec(spec);
+            arow.push_back(Table::pct(r.pfAccuracy(), 1));
+            prow.push_back(
+                Table::num(speedup(baselines[wi], r), 3) + "X");
+            ++wi;
+        }
+        acc.row(arow);
+        perf.row(prow);
+    }
+    ctx.emit(acc);
+    ctx.emit(perf);
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 10: prefetch coverage of L1I and L2 (4-way CMP) instruction
+ * misses as the discontinuity prediction table shrinks from 8K to
+ * 256 entries, with the next-4-line sequential prefetcher as the
+ * reference point.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ipref;
+
+namespace
+{
+
+/** Coverage = eliminated misses / baseline misses. */
+double
+coverage(std::uint64_t baseMisses, std::uint64_t misses)
+{
+    if (baseMisses == 0)
+        return 0.0;
+    if (misses >= baseMisses)
+        return 0.0;
+    return 1.0 - static_cast<double>(misses) /
+                     static_cast<double>(baseMisses);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx(argc, argv, 0.3);
+
+    std::vector<std::string> header = {"Configuration"};
+    std::vector<SimResults> baselines;
+    for (const auto &ws : figureWorkloads(true)) {
+        header.push_back(ws.label);
+        RunSpec spec;
+        spec.cmp = true;
+        spec.workloads = ws.kinds;
+        spec.instrScale = ctx.scale;
+        baselines.push_back(runSpec(spec));
+    }
+
+    Table l1("Figure 10(i): L1I miss coverage vs discontinuity "
+             "table size (4-way CMP)");
+    Table l2("Figure 10(ii): L2 instruction miss coverage vs table "
+             "size (4-way CMP)");
+    l1.header(header);
+    l2.header(header);
+
+    struct Row
+    {
+        std::string label;
+        PrefetchScheme scheme;
+        unsigned entries;
+    };
+    std::vector<Row> rows;
+    for (unsigned entries : {8192u, 4096u, 2048u, 1024u, 512u, 256u})
+        rows.push_back({std::to_string(entries) + "-entries",
+                        PrefetchScheme::Discontinuity, entries});
+    rows.push_back(
+        {"next-4-lines (tagged)", PrefetchScheme::NextNLineTagged,
+         8192});
+
+    for (const auto &cfg : rows) {
+        std::vector<std::string> r1 = {cfg.label};
+        std::vector<std::string> r2 = {cfg.label};
+        std::size_t wi = 0;
+        for (const auto &ws : figureWorkloads(true)) {
+            RunSpec spec;
+            spec.cmp = true;
+            spec.workloads = ws.kinds;
+            spec.scheme = cfg.scheme;
+            spec.tableEntries = cfg.entries;
+            spec.instrScale = ctx.scale;
+            SimResults r = runSpec(spec);
+            r1.push_back(Table::pct(
+                coverage(baselines[wi].l1iMisses, r.l1iMisses), 1));
+            r2.push_back(Table::pct(
+                coverage(baselines[wi].l2iMisses, r.l2iMisses), 1));
+            ++wi;
+        }
+        l1.row(r1);
+        l2.row(r2);
+    }
+    ctx.emit(l1);
+    ctx.emit(l2);
+    return 0;
+}

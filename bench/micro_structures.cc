@@ -1,0 +1,135 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the core data structures:
+ * cache access, predictor probe/allocate, prefetch queue operations,
+ * branch predictor updates and workload-generation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "cpu/branch_predictor.hh"
+#include "prefetch/discontinuity.hh"
+#include "prefetch/prefetch_queue.hh"
+#include "util/rng.hh"
+#include "workload/presets.hh"
+
+using namespace ipref;
+
+namespace
+{
+
+void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    CacheParams p;
+    p.sizeBytes = 32u << 10;
+    SetAssocCache cache(p);
+    for (Addr a = 0; a < (32u << 10); a += 64)
+        cache.insert(0x10000000 + a, {});
+    Rng rng(1);
+    for (auto _ : state) {
+        Addr a = 0x10000000 + rng.below(512) * 64;
+        benchmark::DoNotOptimize(cache.access(a));
+    }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void
+BM_CacheAccessMissAndInsert(benchmark::State &state)
+{
+    CacheParams p;
+    p.sizeBytes = 32u << 10;
+    SetAssocCache cache(p);
+    Addr a = 0x10000000;
+    for (auto _ : state) {
+        if (!cache.access(a).hit)
+            cache.insert(a, {});
+        a += 64 * 17;
+    }
+}
+BENCHMARK(BM_CacheAccessMissAndInsert);
+
+void
+BM_DiscontinuityLookup(benchmark::State &state)
+{
+    DiscontinuityPredictor pred(
+        static_cast<unsigned>(state.range(0)), 64);
+    Rng rng(2);
+    for (int i = 0; i < state.range(0); ++i)
+        pred.allocate(0x10000000 + rng.below(1u << 20) * 64,
+                      0x20000000 + rng.below(1u << 20) * 64);
+    for (auto _ : state) {
+        Addr probe = 0x10000000 + rng.below(1u << 20) * 64;
+        benchmark::DoNotOptimize(pred.lookup(probe));
+    }
+}
+BENCHMARK(BM_DiscontinuityLookup)->Arg(256)->Arg(8192);
+
+void
+BM_DiscontinuityAllocate(benchmark::State &state)
+{
+    DiscontinuityPredictor pred(8192, 64);
+    Rng rng(3);
+    for (auto _ : state) {
+        pred.allocate(0x10000000 + rng.below(1u << 20) * 64,
+                      0x20000000 + rng.below(1u << 20) * 64);
+    }
+}
+BENCHMARK(BM_DiscontinuityAllocate);
+
+void
+BM_PrefetchQueueChurn(benchmark::State &state)
+{
+    PrefetchQueue q(32);
+    Rng rng(4);
+    for (auto _ : state) {
+        PrefetchCandidate c;
+        c.lineAddr = rng.below(4096) * 64;
+        q.push(c);
+        if (rng.chance(0.5))
+            benchmark::DoNotOptimize(q.popForIssue());
+        if (rng.chance(0.1))
+            q.demandFetched(rng.below(4096) * 64);
+    }
+}
+BENCHMARK(BM_PrefetchQueueChurn);
+
+void
+BM_GshareUpdate(benchmark::State &state)
+{
+    GsharePredictor g(64u << 10);
+    Rng rng(5);
+    for (auto _ : state) {
+        Addr pc = 0x10000000 + rng.below(4096) * 4;
+        g.update(pc, rng.chance(0.6));
+    }
+}
+BENCHMARK(BM_GshareUpdate);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    ZipfSampler zipf(262144, 1.3);
+    Rng rng(6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(BM_ZipfSample);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    auto wl = makeWorkload(WorkloadKind::WEB, 0);
+    InstrRecord rec;
+    for (auto _ : state) {
+        wl->next(rec);
+        benchmark::DoNotOptimize(rec);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

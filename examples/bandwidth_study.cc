@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Domain example: off-chip bandwidth sensitivity.
+ *
+ * Section 5 of the paper fixes 20 GB/s for the 4-way CMP and notes
+ * the contemporary range (IBM POWER5 ~25 GB/s, HP Itanium ~4 GB/s).
+ * Aggressive prefetching trades bandwidth for latency, so the win of
+ * the discontinuity prefetcher — and the appeal of the more accurate
+ * 2NL variant — depends on how constrained the channel is. This
+ * example sweeps the channel bandwidth and reports the trade-off.
+ *
+ * Usage:
+ *   bandwidth_study [--workload db] [--scale X]
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "util/options.hh"
+#include "util/table.hh"
+
+using namespace ipref;
+
+namespace
+{
+
+SimResults
+runAt(WorkloadKind kind, double gbps, PrefetchScheme scheme,
+      unsigned degree, double scale)
+{
+    RunSpec spec;
+    spec.cmp = true;
+    spec.workloads = {kind};
+    spec.scheme = scheme;
+    spec.degree = degree;
+    spec.bypassL2 = scheme != PrefetchScheme::None;
+    spec.instrScale = scale;
+    SystemConfig cfg = makeConfig(spec);
+    cfg.hierarchy.memory.gbPerSec = gbps;
+    System system(cfg);
+    return system.run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    WorkloadKind kind =
+        parseWorkloadKind(opts.getString("workload", "db"));
+    double scale = opts.getDouble("scale", 0.5);
+
+    std::cout << "Off-chip bandwidth sensitivity ("
+              << workloadName(kind)
+              << ", 4-way CMP, discontinuity + bypass)\n\n";
+
+    Table t("speedup and prefetch behaviour vs channel bandwidth");
+    t.header({"GB/s", "base IPC", "disc speedup", "2NL speedup",
+              "disc late pf", "disc queue delay/read"});
+
+    for (double gbps : {4.0, 10.0, 20.0, 25.0, 40.0}) {
+        SimResults base = runAt(kind, gbps, PrefetchScheme::None, 4,
+                                scale);
+        SimResults d4 = runAt(kind, gbps,
+                              PrefetchScheme::Discontinuity, 4,
+                              scale);
+        SimResults d2 = runAt(kind, gbps,
+                              PrefetchScheme::Discontinuity, 2,
+                              scale);
+        double late_frac =
+            d4.pfUseful ? static_cast<double>(d4.pfLate) /
+                              static_cast<double>(d4.pfUseful)
+                        : 0.0;
+        t.row({Table::num(gbps, 0), Table::num(base.ipc, 3),
+               Table::num(base.ipc > 0 ? d4.ipc / base.ipc : 0, 3) +
+                   "X",
+               Table::num(base.ipc > 0 ? d2.ipc / base.ipc : 0, 3) +
+                   "X",
+               Table::pct(late_frac, 1),
+               Table::num(d4.memReads
+                              ? static_cast<double>(
+                                    d4.memQueueDelayCycles) /
+                                    static_cast<double>(d4.memReads)
+                              : 0.0,
+                          1)});
+    }
+    t.print(std::cout);
+    std::cout << "\nLower bandwidth exposes prefetch queueing: the "
+                 "more accurate 2NL variant closes on (or passes) "
+                 "the 4-line configuration as GB/s falls.\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quickstart: build a paper-default system, run it, print results.
+ *
+ * Usage:
+ *   quickstart [--workload db|tpcw|japp|web|mixed] [--cores 1|4]
+ *              [--scheme none|nl-miss|nl-tagged|n4l|discontinuity]
+ *              [--bypass] [--functional] [--scale X] [--stats]
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "util/options.hh"
+
+using namespace ipref;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+
+    RunSpec spec;
+    spec.cmp = opts.getInt("cores", 4) == 4;
+    std::string w = opts.getString("workload", "db");
+    if (w == "mixed") {
+        spec.workloads = {WorkloadKind::DB, WorkloadKind::TPCW,
+                          WorkloadKind::JAPP, WorkloadKind::WEB};
+    } else {
+        spec.workloads = {parseWorkloadKind(w)};
+    }
+    spec.scheme = parseScheme(opts.getString("scheme", "none"));
+    spec.bypassL2 = opts.getBool("bypass");
+    spec.functional = opts.getBool("functional");
+    spec.instrScale = opts.getDouble("scale", 1.0);
+    spec.degree = static_cast<unsigned>(opts.getInt("degree", 4));
+    spec.tableEntries =
+        static_cast<unsigned>(opts.getInt("table", 8192));
+
+    System system(makeConfig(spec));
+    SimResults r = system.run();
+
+    std::cout << "workload: " << system.config().workloadSetName()
+              << "  cores: " << system.config().numCores
+              << "  scheme: " << schemeName(spec.scheme)
+              << (spec.bypassL2 ? " +bypass" : "") << "\n";
+    std::cout << "instructions: " << r.instructions
+              << "  cycles: " << r.cycles << "  IPC: " << r.ipc
+              << "\n";
+    std::cout << "L1I miss/instr: " << r.l1iMissPerInstr() * 100
+              << "%  L2I miss/instr: " << r.l2iMissPerInstr() * 100
+              << "%  L2D miss/instr: " << r.l2dMissPerInstr() * 100
+              << "%\n";
+    std::cout << "prefetch: issued " << r.pfIssued << " useful "
+              << r.pfUseful << " accuracy " << r.pfAccuracy() * 100
+              << "%  L1I coverage " << r.l1iCoverage() * 100
+              << "%\n";
+    std::cout << "branch MPKI: "
+              << (r.instructions
+                      ? 1000.0 * static_cast<double>(
+                                     r.branchMispredicts) /
+                            static_cast<double>(r.instructions)
+                      : 0.0)
+              << "\n";
+    std::cout << "miss breakdown (L1I): ";
+    std::uint64_t total = 0;
+    for (auto v : r.l1iMissByTransition)
+        total += v;
+    for (std::size_t i = 0; i < r.l1iMissByTransition.size(); ++i) {
+        if (r.l1iMissByTransition[i] == 0)
+            continue;
+        std::cout << transitionName(static_cast<FetchTransition>(i))
+                  << "="
+                  << 100.0 * static_cast<double>(
+                                 r.l1iMissByTransition[i]) /
+                         static_cast<double>(total ? total : 1)
+                  << "% ";
+    }
+    std::cout << "\n";
+
+    if (opts.getBool("stats"))
+        system.dumpStats(std::cout);
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Trace tooling example: generate a workload trace, summarize it
+ * (instruction mix, CTI breakdown, footprints, line-popularity
+ * concentration), and optionally round-trip it through a trace file.
+ *
+ * Usage:
+ *   trace_tools [--workload db] [--instrs N] [--save path]
+ *               [--load path]
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace_file.hh"
+#include "trace/trace_stats.hh"
+#include "util/options.hh"
+#include "workload/presets.hh"
+
+using namespace ipref;
+
+namespace
+{
+
+/** Print how concentrated the fetch-line stream is. */
+void
+concentration(TraceSource &src, std::uint64_t n)
+{
+    std::unordered_map<Addr, std::uint64_t> lines;
+    InstrRecord rec;
+    Addr prev_line = invalidAddr;
+    std::uint64_t transitions = 0;
+    for (std::uint64_t i = 0; i < n && src.next(rec); ++i) {
+        Addr line = rec.pc >> 6;
+        if (line != prev_line) {
+            ++lines[line];
+            ++transitions;
+            prev_line = line;
+        }
+    }
+    std::vector<std::uint64_t> counts;
+    counts.reserve(lines.size());
+    for (const auto &kv : lines)
+        counts.push_back(kv.second);
+    std::sort(counts.rbegin(), counts.rend());
+    std::cout << "line fetches: " << transitions << " over "
+              << counts.size() << " unique lines ("
+              << counts.size() * 64 / 1024 << " KB touched)\n";
+    for (double q : {0.5, 0.9, 0.99}) {
+        std::uint64_t target =
+            static_cast<std::uint64_t>(q * static_cast<double>(
+                                               transitions));
+        std::uint64_t acc = 0;
+        std::size_t k = 0;
+        while (k < counts.size() && acc < target)
+            acc += counts[k++];
+        std::cout << "  " << q * 100 << "% of fetches from " << k
+                  << " lines (" << k * 64 / 1024 << " KB)\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    std::uint64_t n = opts.getUint("instrs", 3'000'000);
+
+    if (opts.has("load")) {
+        TraceFileReader reader(opts.getString("load"));
+        TraceSummary s = summarizeTrace(reader, n);
+        s.print(std::cout);
+        return 0;
+    }
+
+    WorkloadKind kind =
+        parseWorkloadKind(opts.getString("workload", "db"));
+    auto wl = makeWorkload(kind, 0);
+
+    if (opts.has("save")) {
+        TraceFileWriter writer(opts.getString("save"));
+        InstrRecord rec;
+        for (std::uint64_t i = 0; i < n && wl->next(rec); ++i)
+            writer.write(rec);
+        writer.close();
+        std::cout << "wrote " << writer.count() << " records to "
+                  << opts.getString("save") << "\n";
+        return 0;
+    }
+
+    TraceSummary s = summarizeTrace(*wl, n);
+    s.print(std::cout);
+    wl->reset();
+    concentration(*wl, n);
+    std::cout << "transactions completed: "
+              << wl->transactionsCompleted() << "\n";
+    return 0;
+}

@@ -1,0 +1,184 @@
+#include "cache/cache.hh"
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace ipref
+{
+
+SetAssocCache::SetAssocCache(const CacheParams &params)
+    : params_(params),
+      randState_(hashString(params.name) | 1)
+{
+    if (!isPowerOfTwo(params_.lineBytes))
+        ipref_fatal("%s: line size %u not a power of two",
+                    params_.name.c_str(), params_.lineBytes);
+    if (params_.sizeBytes %
+            (static_cast<std::uint64_t>(params_.assoc) *
+             params_.lineBytes) != 0)
+        ipref_fatal("%s: size %llu not divisible by assoc*line",
+                    params_.name.c_str(),
+                    static_cast<unsigned long long>(params_.sizeBytes));
+    numSets_ = params_.numSets();
+    if (!isPowerOfTwo(numSets_))
+        ipref_fatal("%s: %llu sets (must be a power of two)",
+                    params_.name.c_str(),
+                    static_cast<unsigned long long>(numSets_));
+    lineShift_ = floorLog2(params_.lineBytes);
+    lineMask_ = params_.lineBytes - 1;
+    lines_.resize(numSets_ * params_.assoc);
+}
+
+std::uint64_t
+SetAssocCache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & (numSets_ - 1);
+}
+
+SetAssocCache::Line *
+SetAssocCache::findLine(Addr addr)
+{
+    Addr tag = addr >> lineShift_;
+    Line *set = &lines_[setIndex(addr) * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::findLine(Addr addr) const
+{
+    return const_cast<SetAssocCache *>(this)->findLine(addr);
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+AccessOutcome
+SetAssocCache::access(Addr addr, bool isWrite)
+{
+    AccessOutcome out;
+    Line *line = findLine(addr);
+    if (!line) {
+        ++misses;
+        return out;
+    }
+    ++hits;
+    out.hit = true;
+    out.firstUseOfPrefetch = line->prefetched && !line->used;
+    line->used = true;
+    line->lastTouch = ++touchClock_;
+    if (isWrite)
+        line->dirty = true;
+    return out;
+}
+
+unsigned
+SetAssocCache::victimWay(std::uint64_t set)
+{
+    Line *base = &lines_[set * params_.assoc];
+    // Prefer an invalid way.
+    for (unsigned w = 0; w < params_.assoc; ++w)
+        if (!base[w].valid)
+            return w;
+    if (params_.repl == ReplPolicy::Random)
+        return static_cast<unsigned>(splitMix64(randState_) %
+                                     params_.assoc);
+    unsigned victim = 0;
+    for (unsigned w = 1; w < params_.assoc; ++w)
+        if (base[w].lastTouch < base[victim].lastTouch)
+            victim = w;
+    return victim;
+}
+
+Eviction
+SetAssocCache::insert(Addr addr, const InsertFlags &flags)
+{
+    Eviction ev;
+    Addr tag = addr >> lineShift_;
+    std::uint64_t set = setIndex(addr);
+
+    if (Line *line = findLine(addr)) {
+        // Already resident: merge flags (e.g., writeback marks dirty).
+        line->dirty = line->dirty || flags.dirty;
+        line->isInstr = flags.isInstr;
+        line->lastTouch = ++touchClock_;
+        return ev;
+    }
+
+    unsigned way = victimWay(set);
+    Line &line = lines_[set * params_.assoc + way];
+    if (line.valid) {
+        ev.valid = true;
+        ev.lineAddr = (line.tag << lineShift_);
+        ev.dirty = line.dirty;
+        ev.prefetched = line.prefetched;
+        ev.used = line.used;
+        ev.isInstr = line.isInstr;
+        ev.srcCore = line.srcCore;
+        ++evictions;
+    }
+    line.valid = true;
+    line.tag = tag;
+    line.dirty = flags.dirty;
+    line.prefetched = flags.prefetched;
+    line.used = !flags.prefetched; // demand fills are used by definition
+    line.isInstr = flags.isInstr;
+    line.srcCore = flags.srcCore;
+    line.lastTouch = ++touchClock_;
+    ++insertions;
+    return ev;
+}
+
+bool
+SetAssocCache::invalidate(Addr addr)
+{
+    Line *line = findLine(addr);
+    if (!line)
+        return false;
+    line->valid = false;
+    return true;
+}
+
+SetAssocCache::MetaView
+SetAssocCache::lookup(Addr addr) const
+{
+    MetaView v;
+    const Line *line = findLine(addr);
+    if (!line)
+        return v;
+    v.valid = true;
+    v.dirty = line->dirty;
+    v.prefetched = line->prefetched;
+    v.used = line->used;
+    v.isInstr = line->isInstr;
+    v.srcCore = line->srcCore;
+    return v;
+}
+
+std::uint64_t
+SetAssocCache::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : lines_)
+        if (l.valid)
+            ++n;
+    return n;
+}
+
+void
+SetAssocCache::registerStats(StatGroup &group) const
+{
+    group.addCounter("hits", &hits, "demand hits");
+    group.addCounter("misses", &misses, "demand misses");
+    group.addCounter("insertions", &insertions, "lines installed");
+    group.addCounter("evictions", &evictions, "valid lines evicted");
+}
+
+} // namespace ipref

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Parameterizable set-associative cache model with the per-line
+ * metadata the paper's schemes need: a prefetched bit, a used bit
+ * (prefetch tagging / selective-L2-install), an instruction/data bit
+ * and the id of the core that inserted the line (CMP accounting).
+ */
+
+#ifndef IPREF_CACHE_CACHE_HH
+#define IPREF_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace ipref
+{
+
+/** Replacement policy selection. */
+enum class ReplPolicy : std::uint8_t
+{
+    LRU,
+    Random,
+};
+
+/** Static cache geometry. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32u << 10;
+    unsigned assoc = 4;
+    unsigned lineBytes = 64;
+    ReplPolicy repl = ReplPolicy::LRU;
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t
+    numSets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(assoc) *
+                            lineBytes);
+    }
+};
+
+/** Flags attached to a line when it is inserted. */
+struct InsertFlags
+{
+    bool prefetched = false;
+    bool isInstr = false;
+    bool dirty = false;
+    CoreId srcCore = 0;
+};
+
+/** Description of a line pushed out by an insert. */
+struct Eviction
+{
+    bool valid = false;   //!< false: no victim (empty way used)
+    Addr lineAddr = 0;    //!< byte address of the victim line
+    bool dirty = false;
+    bool prefetched = false;
+    bool used = false;
+    bool isInstr = false;
+    CoreId srcCore = 0;
+};
+
+/** Result of a demand access. */
+struct AccessOutcome
+{
+    bool hit = false;
+    /** Hit on a prefetched line that had never been used before —
+     *  the "tagged" trigger and the proof-of-usefulness event. */
+    bool firstUseOfPrefetch = false;
+};
+
+/**
+ * A single-level set-associative cache. Purely functional: latency
+ * and in-flight state live in the hierarchy, not here.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheParams &params);
+
+    const CacheParams &params() const { return params_; }
+
+    /** Byte address of the line containing @p addr. */
+    Addr lineOf(Addr addr) const { return addr & ~lineMask_; }
+
+    /** Tag-only lookup: no LRU update, no metadata change. */
+    bool probe(Addr addr) const;
+
+    /**
+     * Demand access. On a hit, updates recency, sets the used bit and
+     * (for writes) the dirty bit.
+     */
+    AccessOutcome access(Addr addr, bool isWrite = false);
+
+    /**
+     * Install the line containing @p addr, evicting a victim if the
+     * set is full. Re-inserting a resident line just updates flags.
+     */
+    Eviction insert(Addr addr, const InsertFlags &flags);
+
+    /** Drop the line if present. @return true if it was resident. */
+    bool invalidate(Addr addr);
+
+    /** Read-only view of a resident line's metadata (tests/policies). */
+    struct MetaView
+    {
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+        bool used = false;
+        bool isInstr = false;
+        CoreId srcCore = 0;
+    };
+    MetaView lookup(Addr addr) const;
+
+    /** Number of valid lines (tests). */
+    std::uint64_t validLines() const;
+
+    // Demand-access statistics.
+    Counter hits;
+    Counter misses;
+    Counter insertions;
+    Counter evictions;
+
+    /** Register this cache's counters in @p group. */
+    void registerStats(StatGroup &group) const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        std::uint64_t lastTouch = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+        bool used = false;
+        bool isInstr = false;
+        CoreId srcCore = 0;
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+    unsigned victimWay(std::uint64_t set);
+
+    CacheParams params_;
+    Addr lineMask_;
+    unsigned lineShift_;
+    std::uint64_t numSets_;
+    std::vector<Line> lines_; //!< numSets * assoc, set-major
+    std::uint64_t touchClock_ = 0;
+    std::uint64_t randState_;
+};
+
+} // namespace ipref
+
+#endif // IPREF_CACHE_CACHE_HH

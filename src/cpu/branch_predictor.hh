@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Front-end branch prediction: a gshare conditional predictor, a
+ * direct-mapped tagless BTB for indirect-jump targets, and a return
+ * address stack — the configuration of the paper's Section 5
+ * (64K-entry gshare, 1K-entry BTB, 16-entry RAS).
+ *
+ * The simulator is trace-driven, so prediction reduces to deciding
+ * whether the front end *would* have redirected correctly:
+ *  - conditional branches mispredict on a wrong direction (targets
+ *    are PC-relative and available at decode);
+ *  - direct calls and unconditional branches never mispredict;
+ *  - indirect jumps mispredict when the BTB's target differs;
+ *  - returns mispredict when the RAS top differs;
+ *  - traps always flush.
+ */
+
+#ifndef IPREF_CPU_BRANCH_PREDICTOR_HH
+#define IPREF_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace ipref
+{
+
+/** Predictor sizing. */
+struct BranchPredictorParams
+{
+    std::uint32_t gshareEntries = 64u << 10; //!< 2-bit counters
+    std::uint32_t btbEntries = 1u << 10;     //!< direct-mapped, tagless
+    std::uint32_t rasEntries = 16;
+};
+
+/** gshare: global history XOR PC indexing a 2-bit counter table. */
+class GsharePredictor
+{
+  public:
+    explicit GsharePredictor(std::uint32_t entries);
+
+    /** Predict direction for the branch at @p pc. */
+    bool predict(Addr pc) const;
+
+    /** Update with the actual outcome and advance global history. */
+    void update(Addr pc, bool taken);
+
+    Counter lookups;
+    Counter mispredicts;
+
+  private:
+    std::uint32_t indexOf(Addr pc) const;
+
+    std::vector<std::uint8_t> table_;
+    std::uint32_t mask_;
+    std::uint64_t history_ = 0;
+};
+
+/** Direct-mapped, tagless branch target buffer. */
+class Btb
+{
+  public:
+    explicit Btb(std::uint32_t entries);
+
+    /** Predicted target for the CTI at @p pc (0 if never trained). */
+    Addr predict(Addr pc) const;
+
+    void update(Addr pc, Addr target);
+
+  private:
+    std::vector<Addr> table_;
+    std::uint32_t mask_;
+};
+
+/** Return address stack (wraps on overflow, as real RASes do). */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(std::uint32_t entries);
+
+    void push(Addr returnAddr);
+    Addr pop();
+    bool empty() const { return count_ == 0; }
+
+  private:
+    std::vector<Addr> stack_;
+    std::uint32_t top_ = 0;
+    std::uint32_t count_ = 0;
+};
+
+/** The assembled front-end predictor. */
+class FrontEndPredictor
+{
+  public:
+    explicit FrontEndPredictor(const BranchPredictorParams &params);
+
+    /**
+     * Process the CTI @p rec through the predictor (predict + train).
+     * @return true when the front end redirects *correctly* — false
+     * means a flush/mispredict.
+     */
+    bool predict(const InstrRecord &rec);
+
+    Counter ctis;
+    Counter mispredicts;
+    Counter condMispredicts;
+    Counter jumpMispredicts;
+    Counter returnMispredicts;
+
+    void registerStats(StatGroup &group);
+
+  private:
+    GsharePredictor gshare_;
+    Btb btb_;
+    ReturnAddressStack ras_;
+};
+
+} // namespace ipref
+
+#endif // IPREF_CPU_BRANCH_PREDICTOR_HH

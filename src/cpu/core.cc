@@ -1,0 +1,239 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ipref
+{
+
+OoOCore::OoOCore(CoreId id, const CoreParams &params,
+                 CacheHierarchy &hierarchy, PrefetchEngine &engine,
+                 TraceSource *trace)
+    : id_(id),
+      params_(params),
+      hierarchy_(hierarchy),
+      engine_(engine),
+      trace_(trace),
+      bp_(params.bp),
+      itlb_(params.tlb),
+      dtlb_(params.tlb)
+{
+    regReady_.fill(0);
+}
+
+bool
+OoOCore::done() const
+{
+    return exhausted_ && !havePending_ && fetchBuf_.empty() &&
+           rob_.empty();
+}
+
+void
+OoOCore::tick(Cycle now)
+{
+    commitStage(now);
+    issueStage(now);
+    dispatchStage(now);
+    fetchStage(now);
+    // Prefetches take the L1I tag port only on cycles with no demand
+    // fetch access.
+    engine_.tick(now, !demandFetchedThisCycle_);
+}
+
+void
+OoOCore::commitStage(Cycle now)
+{
+    unsigned n = 0;
+    while (n < params_.commitWidth && !rob_.empty()) {
+        const RobEntry &head = rob_.front();
+        if (!head.issued || head.execDone > now)
+            break;
+        rob_.pop_front();
+        ++committed_;
+        ++n;
+    }
+}
+
+Cycle
+OoOCore::execute(const InstrRecord &rec, Cycle now)
+{
+    switch (rec.op) {
+      case OpClass::IntMul:
+        return now + params_.intMulLatency;
+      case OpClass::FpAlu:
+        return now + params_.fpLatency;
+      case OpClass::Load: {
+        ++loadsIssued;
+        Cycle pen = dtlb_.translate(rec.dataAddr);
+        DataResult res =
+            hierarchy_.dataAccess(id_, rec.dataAddr, false, now);
+        return res.ready + pen;
+      }
+      case OpClass::Store:
+        ++storesIssued;
+        dtlb_.translate(rec.dataAddr);
+        hierarchy_.dataAccess(id_, rec.dataAddr, true, now);
+        return now + 1; // store buffer hides the latency
+      default:
+        return now + 1;
+    }
+}
+
+void
+OoOCore::issueStage(Cycle now)
+{
+    unsigned issued = 0;
+    for (auto &entry : rob_) {
+        if (issued >= params_.issueWidth)
+            break;
+        if (entry.issued)
+            continue;
+        const InstrRecord &rec = entry.rec;
+        if ((rec.srcReg[0] && regReady_[rec.srcReg[0]] > now) ||
+            (rec.srcReg[1] && regReady_[rec.srcReg[1]] > now))
+            continue;
+        entry.issued = true;
+        entry.execDone = execute(rec, now);
+        if (rec.dstReg)
+            regReady_[rec.dstReg] = entry.execDone;
+        if (blockedOnSeq_ && *blockedOnSeq_ == entry.seq) {
+            // The mispredicted CTI resolved: schedule the redirect.
+            fetchResumeAt_ =
+                entry.execDone + params_.redirectPenalty;
+            blockedOnSeq_.reset();
+        }
+        ++issued;
+    }
+}
+
+void
+OoOCore::dispatchStage(Cycle now)
+{
+    unsigned n = 0;
+    while (n < params_.dispatchWidth && !fetchBuf_.empty() &&
+           rob_.size() < params_.robEntries) {
+        if (fetchBuf_.front().availAt > now)
+            break;
+        RobEntry e;
+        e.rec = fetchBuf_.front().rec;
+        e.seq = fetchBuf_.front().seq;
+        rob_.push_back(e);
+        fetchBuf_.pop_front();
+        ++n;
+    }
+    if (rob_.size() >= params_.robEntries)
+        ++robFullCycles;
+}
+
+void
+OoOCore::fetchStage(Cycle now)
+{
+    demandFetchedThisCycle_ = false;
+
+    if (blockedOnSeq_) {
+        ++branchStallCycles;
+        return;
+    }
+    if (now < fetchResumeAt_) {
+        ++fetchStallCycles;
+        return;
+    }
+
+    unsigned fetched = 0;
+    while (fetched < params_.fetchWidth &&
+           fetchBuf_.size() < params_.fetchBufferEntries) {
+        if (!havePending_) {
+            if (exhausted_ || !trace_ || !trace_->next(pendingRec_)) {
+                exhausted_ = trace_ != nullptr;
+                break;
+            }
+            havePending_ = true;
+        }
+
+        Addr line = hierarchy_.lineOf(pendingRec_.pc);
+        if (line != curFetchLine_) {
+            FetchTransition tr = havePrev_
+                                     ? prevFetched_.transitionType()
+                                     : FetchTransition::Sequential;
+            Cycle tlb_pen = itlb_.translate(pendingRec_.pc);
+            FetchResult res = hierarchy_.fetchAccess(
+                id_, pendingRec_.pc, tr, now);
+            demandFetchedThisCycle_ = true;
+
+            DemandFetchEvent ev;
+            ev.lineAddr = line;
+            ev.prevLineAddr = curFetchLine_;
+            ev.transition = tr;
+            ev.miss = res.l1Miss;
+            ev.firstUseOfPrefetch = res.firstUseOfPrefetch;
+            ev.latePrefetchHit = res.latePrefetchHit;
+            engine_.onDemandFetch(ev);
+
+            curFetchLine_ = line;
+            Cycle ready = res.ready + tlb_pen;
+            if (ready > now + hierarchy_.params().l1Latency) {
+                // Line not deliverable this cycle: stall fetch until
+                // the fill (or translation) completes.
+                fetchResumeAt_ = ready;
+                break;
+            }
+        }
+
+        FetchedInstr fi;
+        fi.rec = pendingRec_;
+        fi.availAt = now + params_.frontendDelay;
+        fi.seq = nextSeq_++;
+        fetchBuf_.push_back(fi);
+        havePending_ = false;
+        prevFetched_ = pendingRec_;
+        havePrev_ = true;
+        ++fetchedInstrs;
+        ++fetched;
+
+        if (fi.rec.isCti()) {
+            if (fi.rec.op == OpClass::Call ||
+                fi.rec.op == OpClass::Jump ||
+                fi.rec.op == OpClass::Return) {
+                FunctionEvent fe;
+                fe.isReturn = fi.rec.op == OpClass::Return;
+                fe.sitePc = fi.rec.pc;
+                fe.target = fi.rec.target;
+                engine_.onFunction(fe);
+            }
+            if (fi.rec.op == OpClass::CondBranch) {
+                BranchEvent be;
+                be.branchPc = fi.rec.pc;
+                be.takenTarget = fi.rec.target;
+                be.fallthrough = fi.rec.pc + instrBytes;
+                be.taken = fi.rec.taken;
+                engine_.onBranch(be);
+            }
+            bool correct = bp_.predict(fi.rec);
+            if (!correct) {
+                // No wrong path in a trace-driven model: block fetch
+                // until this CTI issues, then apply the redirect
+                // penalty (see issueStage).
+                blockedOnSeq_ = fi.seq;
+                break;
+            }
+            if (fi.rec.redirects())
+                break; // a taken CTI ends the fetch group
+        }
+    }
+}
+
+void
+OoOCore::registerStats(StatGroup &group)
+{
+    group.addCounter("committed", &committed_);
+    group.addCounter("fetched", &fetchedInstrs);
+    group.addCounter("fetch_stall_cycles", &fetchStallCycles);
+    group.addCounter("branch_stall_cycles", &branchStallCycles);
+    group.addCounter("rob_full_cycles", &robFullCycles);
+    group.addCounter("loads", &loadsIssued);
+    group.addCounter("stores", &storesIssued);
+    bp_.registerStats(group);
+}
+
+} // namespace ipref

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Trace-driven, cycle-stepped out-of-order core model.
+ *
+ * Models the paper's core (Section 5): 8-wide fetch, 3-wide issue,
+ * 64-entry window/ROB, 16-stage pipeline, gshare + BTB + RAS front
+ * end, two-level TLBs. Each tick() advances one cycle through
+ * commit -> issue -> dispatch -> fetch.
+ *
+ * Trace-driven approximations (documented in DESIGN.md): no wrong
+ * path is simulated; a mispredicted CTI blocks fetch until it issues,
+ * then fetch resumes after a redirect penalty. Instruction cache
+ * misses stall fetch until the fill arrives, which is the first-order
+ * effect the paper's prefetchers attack.
+ */
+
+#ifndef IPREF_CPU_CORE_HH
+#define IPREF_CPU_CORE_HH
+
+#include <deque>
+#include <optional>
+
+#include "cache/hierarchy.hh"
+#include "cpu/branch_predictor.hh"
+#include "cpu/tlb.hh"
+#include "prefetch/engine.hh"
+#include "trace/trace_source.hh"
+#include "util/stats.hh"
+
+namespace ipref
+{
+
+/** Core microarchitecture parameters (paper defaults). */
+struct CoreParams
+{
+    unsigned fetchWidth = 8;
+    unsigned dispatchWidth = 4;
+    unsigned issueWidth = 3;
+    unsigned commitWidth = 4;
+    unsigned robEntries = 64;
+    unsigned fetchBufferEntries = 24;
+    /** Fetch-to-dispatch latency (front half of the 16-stage pipe). */
+    unsigned frontendDelay = 8;
+    /** Additional refill penalty after a mispredict resolves. */
+    unsigned redirectPenalty = 8;
+    Cycle intMulLatency = 5;
+    Cycle fpLatency = 3;
+    BranchPredictorParams bp;
+    TlbParams tlb;
+    static constexpr unsigned numRegs = 32;
+};
+
+/** One out-of-order core bound to a trace, a hierarchy and a
+ *  prefetch engine. */
+class OoOCore
+{
+  public:
+    OoOCore(CoreId id, const CoreParams &params,
+            CacheHierarchy &hierarchy, PrefetchEngine &engine,
+            TraceSource *trace);
+
+    /** Advance one cycle at time @p now. */
+    void tick(Cycle now);
+
+    /** Trace exhausted and pipeline drained. */
+    bool done() const;
+
+    /** Swap the instruction stream (time-sliced mixed workloads).
+     *  The pipeline naturally drains the old stream's instructions. */
+    void setTrace(TraceSource *trace) { trace_ = trace; }
+
+    CoreId id() const { return id_; }
+    std::uint64_t committed() const { return committed_.value(); }
+
+    FrontEndPredictor &predictor() { return bp_; }
+    Tlb &itlb() { return itlb_; }
+    Tlb &dtlb() { return dtlb_; }
+
+    // Statistics.
+    Counter committed_;
+    Counter fetchedInstrs;
+    Counter fetchStallCycles;   //!< cycles fetch waited on a fill
+    Counter branchStallCycles;  //!< cycles fetch blocked on a branch
+    Counter robFullCycles;
+    Counter loadsIssued;
+    Counter storesIssued;
+
+    void registerStats(StatGroup &group);
+
+  private:
+    struct FetchedInstr
+    {
+        InstrRecord rec;
+        Cycle availAt;      //!< dispatchable from this cycle
+        std::uint64_t seq;
+    };
+    struct RobEntry
+    {
+        InstrRecord rec;
+        std::uint64_t seq;
+        Cycle execDone = neverCycle;
+        bool issued = false;
+    };
+
+    void commitStage(Cycle now);
+    void issueStage(Cycle now);
+    void dispatchStage(Cycle now);
+    void fetchStage(Cycle now);
+
+    Cycle execute(const InstrRecord &rec, Cycle now);
+
+    CoreId id_;
+    CoreParams params_;
+    CacheHierarchy &hierarchy_;
+    PrefetchEngine &engine_;
+    TraceSource *trace_;
+
+    FrontEndPredictor bp_;
+    Tlb itlb_;
+    Tlb dtlb_;
+
+    std::deque<RobEntry> rob_;
+    std::deque<FetchedInstr> fetchBuf_;
+    std::array<Cycle, CoreParams::numRegs> regReady_{};
+
+    InstrRecord pendingRec_;
+    bool havePending_ = false;
+    bool exhausted_ = false;
+
+    Addr curFetchLine_ = invalidAddr;
+    InstrRecord prevFetched_;
+    bool havePrev_ = false;
+
+    Cycle fetchResumeAt_ = 0;
+    std::optional<std::uint64_t> blockedOnSeq_;
+    bool demandFetchedThisCycle_ = false;
+
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace ipref
+
+#endif // IPREF_CPU_CORE_HH

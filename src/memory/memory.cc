@@ -1,0 +1,61 @@
+#include "memory/memory.hh"
+
+#include <algorithm>
+
+namespace ipref
+{
+
+MemoryChannel::MemoryChannel(const MemoryParams &params)
+    : params_(params)
+{}
+
+Cycle
+MemoryChannel::read(Cycle now, bool isPrefetch)
+{
+    ++reads;
+    if (isPrefetch)
+        ++prefetchReads;
+    if (functional())
+        return now;
+
+    double occ = params_.lineOccupancy();
+    double start;
+    if (isPrefetch) {
+        // Prefetches use spare bandwidth behind everything.
+        start = std::max(static_cast<double>(now), channelFreeAt_);
+        channelFreeAt_ = start + occ;
+    } else {
+        // Demand reads queue only behind other demand traffic
+        // (demand-priority controller); they still occupy the
+        // channel, pushing subsequent prefetches back.
+        start = std::max(static_cast<double>(now), demandFreeAt_);
+        demandFreeAt_ = start + occ;
+        channelFreeAt_ = std::max(channelFreeAt_, start) + occ;
+    }
+    queueDelayCycles += static_cast<Cycle>(start) - now;
+    return static_cast<Cycle>(start) + params_.latency;
+}
+
+void
+MemoryChannel::write(Cycle now)
+{
+    ++writes;
+    if (functional())
+        return;
+    // Writebacks drain at low priority in spare bandwidth.
+    double start = std::max(static_cast<double>(now), channelFreeAt_);
+    channelFreeAt_ = start + params_.lineOccupancy();
+}
+
+void
+MemoryChannel::registerStats(StatGroup &group) const
+{
+    group.addCounter("reads", &reads, "line reads");
+    group.addCounter("prefetch_reads", &prefetchReads,
+                     "line reads on behalf of prefetches");
+    group.addCounter("writes", &writes, "line writebacks");
+    group.addCounter("queue_delay_cycles", &queueDelayCycles,
+                     "total read queueing delay");
+}
+
+} // namespace ipref

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Off-chip memory model: fixed access latency plus a single
+ * bandwidth-limited channel shared by all cores on the chip.
+ *
+ * A line transfer occupies the channel for lineBytes / bytesPerCycle
+ * cycles; a request's completion time is its (possibly queued) channel
+ * start plus the fixed latency. This makes inaccurate prefetching
+ * cost real bandwidth and delay later requests, which is the effect
+ * Section 7 of the paper leans on.
+ */
+
+#ifndef IPREF_MEMORY_MEMORY_HH
+#define IPREF_MEMORY_MEMORY_HH
+
+#include <cstdint>
+
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace ipref
+{
+
+/** Memory channel parameters. */
+struct MemoryParams
+{
+    Cycle latency = 400;          //!< fixed access latency (cycles)
+    double gbPerSec = 20.0;       //!< off-chip bandwidth
+    double coreGhz = 3.0;         //!< core clock (to convert GB/s)
+    unsigned lineBytes = 64;
+
+    /** Bytes the channel moves per core cycle. */
+    double
+    bytesPerCycle() const
+    {
+        return gbPerSec / coreGhz;
+    }
+
+    /** Channel occupancy of one line transfer, in cycles. */
+    double
+    lineOccupancy() const
+    {
+        return static_cast<double>(lineBytes) / bytesPerCycle();
+    }
+};
+
+/** The shared off-chip channel. */
+class MemoryChannel
+{
+  public:
+    explicit MemoryChannel(const MemoryParams &params);
+
+    /**
+     * Issue a line read at @p now.
+     *
+     * Demand reads have priority: they queue only behind other
+     * demand reads. Prefetch reads are scheduled in the spare
+     * bandwidth behind ALL outstanding traffic, so inaccurate
+     * prefetching delays useful prefetches (paper §7) but not the
+     * demand stream, matching a demand-priority memory controller.
+     *
+     * @return the cycle the line is available on chip.
+     */
+    Cycle read(Cycle now, bool isPrefetch);
+
+    /**
+     * Issue a line writeback at @p now (fire-and-forget: consumes
+     * channel bandwidth but nothing waits for it).
+     */
+    void write(Cycle now);
+
+    /** When latency is zero the model is functional (no queuing). */
+    bool functional() const { return params_.latency == 0; }
+
+    const MemoryParams &params() const { return params_; }
+
+    Counter reads;
+    Counter prefetchReads;
+    Counter writes;
+    /** Total queueing delay imposed on reads by bandwidth limits. */
+    Counter queueDelayCycles;
+
+    /** Total bytes moved (reads + writes). */
+    std::uint64_t
+    bytesTransferred() const
+    {
+        return (reads.value() + writes.value()) *
+               params_.lineBytes;
+    }
+
+    void registerStats(StatGroup &group) const;
+
+  private:
+    MemoryParams params_;
+    /** Next cycle the channel is free considering ALL traffic. */
+    double channelFreeAt_ = 0.0;
+    /** Next cycle the channel is free of demand traffic only. */
+    double demandFreeAt_ = 0.0;
+};
+
+} // namespace ipref
+
+#endif // IPREF_MEMORY_MEMORY_HH

@@ -1,0 +1,113 @@
+#include "prefetch/call_graph.hh"
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace ipref
+{
+
+CallGraphPrefetcher::CallGraphPrefetcher(unsigned entries,
+                                         unsigned calleeSlots,
+                                         unsigned degree,
+                                         unsigned lineBytes)
+    : calleeSlots_(calleeSlots),
+      degree_(degree),
+      lineBytes_(lineBytes)
+{
+    if (!isPowerOfTwo(entries))
+        ipref_fatal("call-graph table entries (%u) must be a power "
+                    "of two", entries);
+    ipref_assert(calleeSlots_ >= 1);
+    ipref_assert(degree_ >= 1);
+    table_.resize(entries);
+    mask_ = entries - 1;
+}
+
+std::uint32_t
+CallGraphPrefetcher::indexOf(Addr functionEntry) const
+{
+    std::uint64_t v = functionEntry >> 2;
+    return static_cast<std::uint32_t>(
+        (v ^ (v >> (floorLog2(static_cast<std::uint64_t>(mask_) + 1))))
+        & mask_);
+}
+
+void
+CallGraphPrefetcher::predictEntry(Addr functionEntry,
+                                  std::vector<PrefetchCandidate> &out)
+{
+    ++predictions;
+    Addr line = functionEntry & ~static_cast<Addr>(lineBytes_ - 1);
+    for (unsigned i = 0; i < degree_; ++i) {
+        PrefetchCandidate c;
+        c.lineAddr = line + static_cast<Addr>(i) * lineBytes_;
+        c.origin = PrefetchOrigin::TargetTable;
+        out.push_back(c);
+    }
+}
+
+void
+CallGraphPrefetcher::onDemandFetch(const DemandFetchEvent &event,
+                                   std::vector<PrefetchCandidate> &out)
+{
+    // Sequential component (next-line tagged): CGP relies on its
+    // host's sequential prefetcher for straight-line misses.
+    if (!event.taggedTrigger())
+        return;
+    PrefetchCandidate c;
+    c.lineAddr = event.lineAddr + lineBytes_;
+    c.origin = PrefetchOrigin::Sequential;
+    out.push_back(c);
+}
+
+void
+CallGraphPrefetcher::onFunction(const FunctionEvent &event,
+                                std::vector<PrefetchCandidate> &out)
+{
+    if (event.isReturn) {
+        if (!stack_.empty())
+            stack_.pop_back();
+        // Back in the caller: prefetch its next predicted callee.
+        if (!stack_.empty()) {
+            Frame &f = stack_.back();
+            ++f.calleeIdx;
+            const Entry &e = table_[indexOf(f.function)];
+            if (e.valid && e.function == f.function &&
+                f.calleeIdx < e.callees.size()) {
+                ++tableHits;
+                predictEntry(e.callees[f.calleeIdx], out);
+            }
+        }
+        return;
+    }
+
+    Addr callee = event.target;
+
+    // Learn: record the callee in the caller's sequence slot.
+    if (!stack_.empty()) {
+        Frame &f = stack_.back();
+        Entry &e = table_[indexOf(f.function)];
+        if (!e.valid || e.function != f.function) {
+            e.valid = true;
+            e.function = f.function;
+            e.callees.clear();
+        }
+        if (f.calleeIdx < calleeSlots_) {
+            if (e.callees.size() <= f.calleeIdx)
+                e.callees.resize(f.calleeIdx + 1, 0);
+            e.callees[f.calleeIdx] = callee;
+        }
+    }
+
+    // Enter the callee; prefetch ITS first predicted callee.
+    if (stack_.size() < maxStackDepth)
+        stack_.push_back({callee, 0});
+    const Entry &e = table_[indexOf(callee)];
+    if (e.valid && e.function == callee && !e.callees.empty() &&
+        e.callees[0]) {
+        ++tableHits;
+        predictEntry(e.callees[0], out);
+    }
+}
+
+} // namespace ipref

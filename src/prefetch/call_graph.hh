@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Call-graph prefetching (Annavaram, Patel & Davidson [8], discussed
+ * in Section 2.2 of the paper).
+ *
+ * A call-graph history table remembers, for each function, the
+ * sequence of callees it invoked last time. On entering a function
+ * its first predicted callee's entry lines are prefetched; after each
+ * return, the caller's *next* predicted callee is prefetched. The
+ * paper's critique — such schemes "only target a subset of the
+ * non-sequential misses" (call transitions, not branches or long
+ * intra-function jumps) — is directly measurable against the
+ * discontinuity prefetcher in bench/abl_schemes.
+ */
+
+#ifndef IPREF_PREFETCH_CALL_GRAPH_HH
+#define IPREF_PREFETCH_CALL_GRAPH_HH
+
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+#include "util/stats.hh"
+
+namespace ipref
+{
+
+/** A call or return observed by the fetch engine. */
+struct FunctionEvent
+{
+    bool isReturn = false;
+    Addr sitePc = 0;      //!< address of the call/return instruction
+    Addr target = 0;      //!< callee entry (call) / return site
+};
+
+/** Call-graph history prefetcher. */
+class CallGraphPrefetcher : public InstructionPrefetcher
+{
+  public:
+    /**
+     * @param entries    history-table entries (power of two)
+     * @param calleeSlots callees remembered per function
+     * @param degree     lines prefetched at a predicted entry
+     * @param lineBytes  L1I line size
+     */
+    CallGraphPrefetcher(unsigned entries, unsigned calleeSlots,
+                        unsigned degree, unsigned lineBytes);
+
+    void onDemandFetch(const DemandFetchEvent &event,
+                       std::vector<PrefetchCandidate> &out) override;
+
+    /** Observe a call or return and prefetch the predicted callee. */
+    void onFunction(const FunctionEvent &event,
+                    std::vector<PrefetchCandidate> &out);
+
+    const char *name() const override { return "call-graph"; }
+
+    Counter predictions;
+    Counter tableHits;
+
+  private:
+    struct Entry
+    {
+        Addr function = 0;            //!< function entry address
+        std::vector<Addr> callees;    //!< observed callee sequence
+        bool valid = false;
+    };
+    struct Frame
+    {
+        Addr function;
+        unsigned calleeIdx;
+    };
+
+    std::uint32_t indexOf(Addr functionEntry) const;
+
+    /** Emit prefetches for a predicted function entry. */
+    void predictEntry(Addr functionEntry,
+                      std::vector<PrefetchCandidate> &out);
+
+    std::vector<Entry> table_;
+    std::vector<Frame> stack_;
+    unsigned calleeSlots_;
+    unsigned degree_;
+    unsigned lineBytes_;
+    std::uint32_t mask_;
+
+    static constexpr std::size_t maxStackDepth = 64;
+};
+
+} // namespace ipref
+
+#endif // IPREF_PREFETCH_CALL_GRAPH_HH

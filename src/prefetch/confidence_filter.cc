@@ -1,0 +1,63 @@
+#include "prefetch/confidence_filter.hh"
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace ipref
+{
+
+ConfidenceFilter::ConfidenceFilter(unsigned entries,
+                                   unsigned lineBytes,
+                                   std::uint8_t threshold,
+                                   std::uint8_t initial)
+    : threshold_(threshold)
+{
+    if (!isPowerOfTwo(entries))
+        ipref_fatal("confidence filter entries (%u) must be a power "
+                    "of two", entries);
+    ipref_assert(threshold <= counterMax);
+    ipref_assert(initial <= counterMax);
+    table_.assign(entries, initial);
+    lineShift_ = floorLog2(lineBytes);
+    mask_ = entries - 1;
+}
+
+std::uint32_t
+ConfidenceFilter::indexOf(Addr lineAddr) const
+{
+    std::uint64_t ln = lineAddr >> lineShift_;
+    return static_cast<std::uint32_t>(
+        (ln ^ (ln >> (floorLog2(static_cast<std::uint64_t>(mask_) + 1))))
+        & mask_);
+}
+
+bool
+ConfidenceFilter::confident(Addr lineAddr) const
+{
+    bool ok = table_[indexOf(lineAddr)] >= threshold_;
+    if (!ok)
+        const_cast<Counter &>(suppressed)++;
+    return ok;
+}
+
+void
+ConfidenceFilter::lineEvicted(Addr lineAddr)
+{
+    std::uint8_t &c = table_[indexOf(lineAddr)];
+    if (c < counterMax) {
+        ++c;
+        ++increments;
+    }
+}
+
+void
+ConfidenceFilter::prefetchIneffective(Addr lineAddr)
+{
+    std::uint8_t &c = table_[indexOf(lineAddr)];
+    if (c > 0) {
+        --c;
+        ++decrements;
+    }
+}
+
+} // namespace ipref

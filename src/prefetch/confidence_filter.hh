@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Confidence-based probe filter (Haga, Zhang & Barua [15], discussed
+ * in Section 2.4 of the paper).
+ *
+ * Determining whether a line to be prefetched is already cached
+ * normally requires inspecting the cache tags, which is expensive
+ * enough that tag duplication is often assumed. The alternative:
+ * associate a small saturating confidence counter with each line
+ * (tagless, direct-mapped). The counter is incremented when the line
+ * is evicted from the cache (a prefetch would now be useful) and
+ * decremented when a prefetch for it proves ineffective (the line was
+ * still resident). Prefetches are issued only when the confidence
+ * exceeds a threshold — removing the need to probe the tags at all.
+ */
+
+#ifndef IPREF_PREFETCH_CONFIDENCE_FILTER_HH
+#define IPREF_PREFETCH_CONFIDENCE_FILTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace ipref
+{
+
+/** Tagless table of 2-bit confidence counters. */
+class ConfidenceFilter
+{
+  public:
+    /**
+     * @param entries    table entries (power of two)
+     * @param lineBytes  cache line size (index granularity)
+     * @param threshold  issue when confidence >= threshold
+     * @param initial    initial counter value (optimistic default
+     *                   lets cold lines be prefetched immediately)
+     */
+    ConfidenceFilter(unsigned entries, unsigned lineBytes,
+                     std::uint8_t threshold = 2,
+                     std::uint8_t initial = 2);
+
+    /** Should a prefetch of @p lineAddr be issued? */
+    bool confident(Addr lineAddr) const;
+
+    /** The line was evicted from the cache: prefetching it again
+     *  would be useful. */
+    void lineEvicted(Addr lineAddr);
+
+    /** A prefetch of the line proved ineffective (still resident). */
+    void prefetchIneffective(Addr lineAddr);
+
+    unsigned entries() const
+    {
+        return static_cast<unsigned>(table_.size());
+    }
+
+    Counter increments;
+    Counter decrements;
+    Counter suppressed; //!< confident() == false outcomes
+
+  private:
+    std::uint32_t indexOf(Addr lineAddr) const;
+
+    std::vector<std::uint8_t> table_;
+    unsigned lineShift_;
+    std::uint32_t mask_;
+    std::uint8_t threshold_;
+
+    static constexpr std::uint8_t counterMax = 3;
+};
+
+} // namespace ipref
+
+#endif // IPREF_PREFETCH_CONFIDENCE_FILTER_HH

@@ -1,0 +1,169 @@
+#include "prefetch/discontinuity.hh"
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace ipref
+{
+
+DiscontinuityPredictor::DiscontinuityPredictor(unsigned entries,
+                                               unsigned lineBytes)
+{
+    if (!isPowerOfTwo(entries))
+        ipref_fatal("discontinuity table entries (%u) must be a power "
+                    "of two", entries);
+    table_.resize(entries);
+    lineShift_ = floorLog2(lineBytes);
+    mask_ = entries - 1;
+}
+
+std::uint32_t
+DiscontinuityPredictor::indexOf(Addr triggerLine) const
+{
+    std::uint64_t ln = triggerLine >> lineShift_;
+    // xor-fold the upper bits in so multi-megabyte footprints spread
+    // over small tables
+    return static_cast<std::uint32_t>(
+        (ln ^ (ln >> (floorLog2(static_cast<std::uint64_t>(mask_) + 1))))
+        & mask_);
+}
+
+std::optional<DiscontinuityPredictor::Hit>
+DiscontinuityPredictor::lookup(Addr triggerLine) const
+{
+    const Entry &e = table_[indexOf(triggerLine)];
+    if (!e.valid || e.trigger != triggerLine)
+        return std::nullopt;
+    return Hit{e.target, indexOf(triggerLine)};
+}
+
+void
+DiscontinuityPredictor::allocate(Addr triggerLine, Addr targetLine)
+{
+    Entry &e = table_[indexOf(triggerLine)];
+    if (!e.valid) {
+        e.valid = true;
+        e.trigger = triggerLine;
+        e.target = targetLine;
+        e.counter = counterMax;
+        ++allocations;
+        return;
+    }
+    if (e.trigger == triggerLine) {
+        if (e.target == targetLine)
+            return; // already represented
+        // Same trigger, new target: treat the resident mapping like
+        // any other entry under replacement pressure.
+        if (e.counter == 0) {
+            e.target = targetLine;
+            e.counter = counterMax;
+            ++retargets;
+        } else {
+            --e.counter;
+            ++decays;
+        }
+        return;
+    }
+    // Unrepresented discontinuity conflicts with a resident entry.
+    if (e.counter == 0) {
+        e.trigger = triggerLine;
+        e.target = targetLine;
+        e.counter = counterMax;
+        ++replacements;
+    } else {
+        --e.counter;
+        ++decays;
+        ++conflicts;
+    }
+}
+
+void
+DiscontinuityPredictor::credit(std::uint32_t index)
+{
+    ipref_assert(index < table_.size());
+    Entry &e = table_[index];
+    if (e.valid && e.counter < counterMax)
+        ++e.counter;
+}
+
+unsigned
+DiscontinuityPredictor::validEntries() const
+{
+    unsigned n = 0;
+    for (const auto &e : table_)
+        if (e.valid)
+            ++n;
+    return n;
+}
+
+DiscontinuityPrefetcher::DiscontinuityPrefetcher(unsigned entries,
+                                                 unsigned degree,
+                                                 unsigned lineBytes)
+    : predictor_(entries, lineBytes),
+      degree_(degree),
+      lineBytes_(lineBytes)
+{
+    ipref_assert(degree_ >= 1);
+}
+
+void
+DiscontinuityPrefetcher::onDemandFetch(
+    const DemandFetchEvent &event, std::vector<PrefetchCandidate> &out)
+{
+    // Learn: a miss caused by a discontinuity (transition to anything
+    // other than the same or the next sequential line) is a candidate
+    // for the prediction table. Small intra-line and next-line
+    // transitions are left to the sequential prefetcher.
+    if (event.miss && event.prevLineAddr != invalidAddr) {
+        Addr prev = event.prevLineAddr;
+        Addr cur = event.lineAddr;
+        if (cur != prev && cur != prev + lineBytes_)
+            predictor_.allocate(prev, cur);
+    }
+
+    if (!event.taggedTrigger())
+        return;
+
+    // Sequential component: L+1 .. L+N.
+    for (unsigned i = 1; i <= degree_; ++i) {
+        PrefetchCandidate c;
+        c.lineAddr = event.lineAddr +
+                     static_cast<Addr>(i) * lineBytes_;
+        c.origin = PrefetchOrigin::Sequential;
+        out.push_back(c);
+    }
+
+    // Discontinuity component: probe L .. L+N; a hit at L+k with
+    // target T prefetches T .. T+(N-k).
+    for (unsigned k = 0; k <= degree_; ++k) {
+        Addr probe = event.lineAddr +
+                     static_cast<Addr>(k) * lineBytes_;
+        auto hit = predictor_.lookup(probe);
+        if (!hit)
+            continue;
+        unsigned remainder = degree_ - k;
+        for (unsigned j = 0; j <= remainder; ++j) {
+            PrefetchCandidate c;
+            c.lineAddr = hit->target +
+                         static_cast<Addr>(j) * lineBytes_;
+            c.origin = j == 0 ? PrefetchOrigin::Discontinuity
+                              : PrefetchOrigin::Sequential;
+            c.tableIndex = hit->index;
+            out.push_back(c);
+        }
+    }
+}
+
+void
+DiscontinuityPrefetcher::prefetchUseful(std::uint32_t tableIndex)
+{
+    predictor_.credit(tableIndex);
+}
+
+const char *
+DiscontinuityPrefetcher::name() const
+{
+    return degree_ == 2 ? "discontinuity (2NL)" : "discontinuity";
+}
+
+} // namespace ipref

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The paper's discontinuity prefetcher (Section 4).
+ *
+ * A direct-mapped predictor maps a trigger cache line to the single
+ * target line of a previously observed fetch-stream discontinuity.
+ * Entries are allocated when a discontinuity causes an I-cache miss
+ * and are protected by a 2-bit saturating eviction counter:
+ * set to max on allocation, incremented when the entry's prefetch
+ * proves useful, decremented when an unrepresented discontinuity maps
+ * to the entry; only a zero count allows replacement.
+ *
+ * The DiscontinuityPrefetcher pairs the predictor with a next-N-line
+ * sequential prefetcher: on each tagged trigger at line L it emits
+ * L+1..L+N, probes the predictor with L..L+N (the sequential stream
+ * "moving ahead of the demand fetch"), and on a probe hit at L+k with
+ * target T also emits T..T+(N-k) — covering the remainder of the
+ * prefetch-ahead distance beyond the discontinuity.
+ */
+
+#ifndef IPREF_PREFETCH_DISCONTINUITY_HH
+#define IPREF_PREFETCH_DISCONTINUITY_HH
+
+#include <optional>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+#include "util/stats.hh"
+
+namespace ipref
+{
+
+/** The direct-mapped discontinuity prediction table. */
+class DiscontinuityPredictor
+{
+  public:
+    /**
+     * @param entries   table entries (power of two)
+     * @param lineBytes cache line size (index granularity)
+     */
+    DiscontinuityPredictor(unsigned entries, unsigned lineBytes);
+
+    /** A successful probe. */
+    struct Hit
+    {
+        Addr target;
+        std::uint32_t index;
+    };
+
+    /** Probe with a (line-aligned) trigger address. */
+    std::optional<Hit> lookup(Addr triggerLine) const;
+
+    /**
+     * Record an observed discontinuity trigger->target that caused an
+     * instruction cache miss. Applies the allocation/replacement
+     * policy described above.
+     */
+    void allocate(Addr triggerLine, Addr targetLine);
+
+    /** Credit entry @p index: its predicted prefetch was useful. */
+    void credit(std::uint32_t index);
+
+    unsigned entries() const { return static_cast<unsigned>(table_.size()); }
+
+    /** Number of valid entries (tests / occupancy studies). */
+    unsigned validEntries() const;
+
+    // Statistics.
+    Counter allocations;
+    Counter replacements;
+    Counter decays;      //!< decrements by unrepresented discontinuities
+    Counter conflicts;   //!< allocation blocked by a protected entry
+    Counter retargets;   //!< same trigger re-learned a new target
+
+  private:
+    struct Entry
+    {
+        Addr trigger = 0;
+        Addr target = 0;
+        std::uint8_t counter = 0; //!< 2-bit saturating
+        bool valid = false;
+    };
+
+    std::uint32_t indexOf(Addr triggerLine) const;
+
+    std::vector<Entry> table_;
+    unsigned lineShift_;
+    std::uint32_t mask_;
+
+    static constexpr std::uint8_t counterMax = 3;
+};
+
+/** Discontinuity predictor combined with next-N-line sequential. */
+class DiscontinuityPrefetcher : public InstructionPrefetcher
+{
+  public:
+    /**
+     * @param entries   predictor entries
+     * @param degree    prefetch-ahead distance N (4 default, 2 = 2NL)
+     * @param lineBytes L1I line size
+     */
+    DiscontinuityPrefetcher(unsigned entries, unsigned degree,
+                            unsigned lineBytes);
+
+    void onDemandFetch(const DemandFetchEvent &event,
+                       std::vector<PrefetchCandidate> &out) override;
+
+    void prefetchUseful(std::uint32_t tableIndex) override;
+
+    const char *name() const override;
+
+    DiscontinuityPredictor &predictor() { return predictor_; }
+    const DiscontinuityPredictor &predictor() const { return predictor_; }
+
+  private:
+    DiscontinuityPredictor predictor_;
+    unsigned degree_;
+    unsigned lineBytes_;
+};
+
+} // namespace ipref
+
+#endif // IPREF_PREFETCH_DISCONTINUITY_HH

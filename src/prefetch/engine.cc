@@ -1,0 +1,187 @@
+#include "prefetch/engine.hh"
+
+namespace ipref
+{
+
+PrefetchEngine::PrefetchEngine(const PrefetchConfig &cfg, CoreId core,
+                               CacheHierarchy &hierarchy)
+    : cfg_(cfg),
+      core_(core),
+      hierarchy_(hierarchy),
+      prefetcher_(createPrefetcher(cfg)),
+      queue_(cfg.queueSize),
+      history_(cfg.historySize)
+{
+    if (prefetcher_)
+        hierarchy_.setEvictionListener(core_, this);
+    if (cfg.useConfidenceFilter)
+        confidence_ = std::make_unique<ConfidenceFilter>(
+            cfg.confidenceEntries, cfg.lineBytes,
+            cfg.confidenceThreshold);
+}
+
+void
+PrefetchEngine::credit(Addr lineAddr)
+{
+    auto it = origins_.find(lineAddr);
+    if (it == origins_.end())
+        return;
+    ++usefulPrefetches;
+    if (it->second.origin == PrefetchOrigin::Discontinuity)
+        prefetcher_->prefetchUseful(it->second.tableIndex);
+    origins_.erase(it);
+}
+
+void
+PrefetchEngine::onDemandFetch(const DemandFetchEvent &event)
+{
+    if (!prefetcher_)
+        return;
+
+    history_.push(event.lineAddr);
+    queue_.demandFetched(event.lineAddr);
+
+    if (event.firstUseOfPrefetch || event.latePrefetchHit) {
+        if (event.latePrefetchHit)
+            ++latePrefetches;
+        credit(event.lineAddr);
+    }
+
+    scratch_.clear();
+    prefetcher_->onDemandFetch(event, scratch_);
+    enqueueCandidates();
+}
+
+void
+PrefetchEngine::onBranch(const BranchEvent &event)
+{
+    auto *wp = dynamic_cast<WrongPathPrefetcher *>(prefetcher_.get());
+    if (!wp)
+        return;
+    scratch_.clear();
+    wp->onBranch(event, scratch_);
+    enqueueCandidates();
+}
+
+void
+PrefetchEngine::onFunction(const FunctionEvent &event)
+{
+    auto *cg = dynamic_cast<CallGraphPrefetcher *>(prefetcher_.get());
+    if (!cg)
+        return;
+    scratch_.clear();
+    cg->onFunction(event, scratch_);
+    enqueueCandidates();
+}
+
+void
+PrefetchEngine::enqueueCandidates()
+{
+    candidates += scratch_.size();
+    for (const auto &cand : scratch_) {
+        if (history_.contains(cand.lineAddr)) {
+            ++filteredRecent;
+            continue;
+        }
+        queue_.push(cand);
+    }
+}
+
+void
+PrefetchEngine::tick(Cycle now, bool tagPortFree)
+{
+    if (!prefetcher_ || !tagPortFree)
+        return;
+
+    auto cand = queue_.popForIssue();
+    if (!cand)
+        return;
+
+    if (confidence_) {
+        // Confidence filtering [15]: gate on per-line confidence
+        // counters instead of inspecting the cache tags.
+        if (!confidence_->confident(cand->lineAddr)) {
+            ++confidenceSuppressed;
+            return;
+        }
+    } else {
+        // Low-priority tag-port probe: is the line already resident?
+        ++tagProbes;
+        if (hierarchy_.probeL1I(core_, cand->lineAddr)) {
+            ++tagProbeHits;
+            return;
+        }
+    }
+
+    PrefetchResult res =
+        hierarchy_.prefetchRequest(core_, cand->lineAddr, now);
+    switch (res.outcome) {
+      case PrefetchOutcome::Issued:
+      case PrefetchOutcome::Merged:
+        ++issued;
+        if (res.fromMemory)
+            ++issuedOffChip;
+        origins_[hierarchy_.lineOf(cand->lineAddr)] =
+            Origin{cand->origin, cand->tableIndex};
+        break;
+      case PrefetchOutcome::DroppedPresent:
+        ++tagProbeHits;
+        // The line was resident after all: the confidence filter
+        // learns this prefetch was ineffective.
+        if (confidence_)
+            confidence_->prefetchIneffective(cand->lineAddr);
+        break;
+      case PrefetchOutcome::DroppedInFlight:
+        ++droppedInFlight;
+        break;
+    }
+}
+
+void
+PrefetchEngine::instrLineEvicted(CoreId core, Addr lineAddr)
+{
+    (void)core;
+    if (confidence_)
+        confidence_->lineEvicted(lineAddr);
+}
+
+void
+PrefetchEngine::prefetchedLineEvicted(CoreId core, Addr lineAddr,
+                                      bool used)
+{
+    (void)core;
+    if (!used) {
+        ++uselessPrefetches;
+        origins_.erase(lineAddr);
+    } else {
+        // Normally credited at first use; cover the rare case where
+        // the line was used but the use event was not observed.
+        origins_.erase(lineAddr);
+    }
+}
+
+void
+PrefetchEngine::registerStats(StatGroup &group)
+{
+    group.addCounter("candidates", &candidates);
+    group.addCounter("filtered_recent", &filteredRecent);
+    group.addCounter("tag_probes", &tagProbes);
+    group.addCounter("tag_probe_hits", &tagProbeHits);
+    group.addCounter("issued", &issued);
+    group.addCounter("issued_offchip", &issuedOffChip);
+    group.addCounter("dropped_inflight", &droppedInFlight);
+    group.addCounter("confidence_suppressed", &confidenceSuppressed);
+    group.addCounter("useful", &usefulPrefetches);
+    group.addCounter("late", &latePrefetches);
+    group.addCounter("useless", &uselessPrefetches);
+    group.addFormula("accuracy", [this] { return accuracy(); },
+                     "useful / issued");
+    group.addCounter("queue_pushes", &queue_.pushes);
+    group.addCounter("queue_hoists", &queue_.hoists);
+    group.addCounter("queue_dup_drops", &queue_.duplicateDrops);
+    group.addCounter("queue_overflow_drops", &queue_.overflowDrops);
+    group.addCounter("queue_demand_invalidations",
+                     &queue_.demandInvalidations);
+}
+
+} // namespace ipref

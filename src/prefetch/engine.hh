@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The per-core prefetch engine: glue between a candidate-generating
+ * prefetcher, the filtering structures (recent-fetch history and the
+ * prefetch queue) and the cache hierarchy.
+ *
+ * Issue policy follows the paper: prefetches contend for the L1I tag
+ * port at low priority, obtaining it only on cycles when the core has
+ * no demand fetch to issue; one tag probe is performed per free cycle
+ * and, if the line is absent, a fill is requested.
+ */
+
+#ifndef IPREF_PREFETCH_ENGINE_HH
+#define IPREF_PREFETCH_ENGINE_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "prefetch/confidence_filter.hh"
+#include "prefetch/fetch_history.hh"
+#include "prefetch/prefetch_queue.hh"
+#include "prefetch/prefetcher.hh"
+#include "prefetch/call_graph.hh"
+#include "prefetch/wrong_path.hh"
+#include "util/stats.hh"
+
+namespace ipref
+{
+
+/** Per-core prefetch engine. */
+class PrefetchEngine : public PrefetchEvictionListener
+{
+  public:
+    /**
+     * @param cfg       scheme configuration
+     * @param core      owning core
+     * @param hierarchy the chip hierarchy (outlives the engine)
+     *
+     * Registers itself as the core's L1I eviction listener.
+     */
+    PrefetchEngine(const PrefetchConfig &cfg, CoreId core,
+                   CacheHierarchy &hierarchy);
+
+    /** Is a prefetcher configured? */
+    bool enabled() const { return prefetcher_ != nullptr; }
+
+    /**
+     * Observe a demand fetch-line event (from the fetch engine):
+     * updates the filter structures, credits useful prefetches, runs
+     * the prefetcher and enqueues filtered candidates.
+     */
+    void onDemandFetch(const DemandFetchEvent &event);
+
+    /**
+     * Observe a conditional branch (from the fetch engine); feeds
+     * branch-driven prefetchers such as wrong-path [12].
+     */
+    void onBranch(const BranchEvent &event);
+
+    /**
+     * Observe a call or return (from the fetch engine); feeds
+     * call-driven prefetchers such as call-graph prefetching [8].
+     */
+    void onFunction(const FunctionEvent &event);
+
+    /**
+     * One cycle of issue opportunity. @p tagPortFree is true when the
+     * core made no demand fetch this cycle.
+     */
+    void tick(Cycle now, bool tagPortFree);
+
+    // PrefetchEvictionListener
+    void prefetchedLineEvicted(CoreId core, Addr lineAddr,
+                               bool used) override;
+    void instrLineEvicted(CoreId core, Addr lineAddr) override;
+
+    InstructionPrefetcher *prefetcher() { return prefetcher_.get(); }
+    PrefetchQueue &queue() { return queue_; }
+
+    // --- statistics ---------------------------------------------------
+    Counter candidates;      //!< produced by the prefetcher
+    Counter filteredRecent;  //!< dropped by the recent-fetch filter
+    Counter tagProbes;       //!< L1I tag-port probes performed
+    Counter tagProbeHits;    //!< probe found the line resident
+    Counter issued;          //!< fills actually started
+    Counter issuedOffChip;   //!< ... that went to memory
+    Counter droppedInFlight; //!< fill already in flight
+    Counter confidenceSuppressed; //!< gated by the confidence filter
+    Counter usefulPrefetches;   //!< first-use or late-merge hits
+    Counter latePrefetches;     //!< subset: merged while in flight
+    Counter uselessPrefetches;  //!< evicted without use
+
+    /** Prefetch accuracy: useful / issued. */
+    double
+    accuracy() const
+    {
+        return issued.value() == 0
+                   ? 0.0
+                   : static_cast<double>(usefulPrefetches.value()) /
+                         static_cast<double>(issued.value());
+    }
+
+    void registerStats(StatGroup &group);
+
+  private:
+    struct Origin
+    {
+        PrefetchOrigin origin;
+        std::uint32_t tableIndex;
+    };
+
+    /** Credit a used prefetched line back to its predictor entry. */
+    void credit(Addr lineAddr);
+
+    /** Enqueue candidates from @p scratch_ through the filters. */
+    void enqueueCandidates();
+
+    PrefetchConfig cfg_;
+    CoreId core_;
+    CacheHierarchy &hierarchy_;
+    std::unique_ptr<InstructionPrefetcher> prefetcher_;
+    PrefetchQueue queue_;
+    FetchHistory history_;
+    std::unique_ptr<ConfidenceFilter> confidence_;
+    std::vector<PrefetchCandidate> scratch_;
+    std::unordered_map<Addr, Origin> origins_;
+};
+
+} // namespace ipref
+
+#endif // IPREF_PREFETCH_ENGINE_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Recent-demand-fetch filter (Section 4.1): a small ring of the last
+ * N demand-fetched line addresses; prefetch candidates matching a
+ * recent demand fetch are dropped before entering the queue.
+ */
+
+#ifndef IPREF_PREFETCH_FETCH_HISTORY_HH
+#define IPREF_PREFETCH_FETCH_HISTORY_HH
+
+#include <vector>
+
+#include "util/types.hh"
+
+namespace ipref
+{
+
+/** Ring buffer of recently demand-fetched lines. */
+class FetchHistory
+{
+  public:
+    explicit FetchHistory(unsigned capacity)
+        : ring_(capacity, invalidAddr)
+    {}
+
+    /** Record a demand fetch of @p lineAddr. */
+    void
+    push(Addr lineAddr)
+    {
+        if (ring_.empty())
+            return;
+        ring_[head_] = lineAddr;
+        head_ = (head_ + 1) % ring_.size();
+    }
+
+    /** Was @p lineAddr demand fetched recently? */
+    bool
+    contains(Addr lineAddr) const
+    {
+        for (Addr a : ring_)
+            if (a == lineAddr)
+                return true;
+        return false;
+    }
+
+    unsigned capacity() const { return static_cast<unsigned>(ring_.size()); }
+
+  private:
+    std::vector<Addr> ring_;
+    std::size_t head_ = 0;
+};
+
+} // namespace ipref
+
+#endif // IPREF_PREFETCH_FETCH_HISTORY_HH

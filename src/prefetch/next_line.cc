@@ -1,0 +1,73 @@
+#include "prefetch/next_line.hh"
+
+#include "util/logging.hh"
+
+namespace ipref
+{
+
+NextLinePrefetcher::NextLinePrefetcher(Policy policy, unsigned degree,
+                                       unsigned lineBytes,
+                                       bool lookahead)
+    : policy_(policy),
+      degree_(degree),
+      lineBytes_(lineBytes),
+      lookahead_(lookahead)
+{
+    ipref_assert(degree_ >= 1);
+    ipref_assert(lineBytes_ >= 4);
+}
+
+void
+NextLinePrefetcher::onDemandFetch(const DemandFetchEvent &event,
+                                  std::vector<PrefetchCandidate> &out)
+{
+    bool trigger = false;
+    switch (policy_) {
+      case Policy::Always:
+        trigger = true;
+        break;
+      case Policy::OnMiss:
+        trigger = event.miss;
+        break;
+      case Policy::Tagged:
+        trigger = event.taggedTrigger();
+        break;
+    }
+    if (!trigger)
+        return;
+
+    if (lookahead_) {
+        PrefetchCandidate c;
+        c.lineAddr = event.lineAddr +
+                     static_cast<Addr>(degree_) * lineBytes_;
+        c.origin = PrefetchOrigin::Sequential;
+        out.push_back(c);
+        return;
+    }
+    for (unsigned i = 1; i <= degree_; ++i) {
+        PrefetchCandidate c;
+        c.lineAddr = event.lineAddr +
+                     static_cast<Addr>(i) * lineBytes_;
+        c.origin = PrefetchOrigin::Sequential;
+        out.push_back(c);
+    }
+}
+
+const char *
+NextLinePrefetcher::name() const
+{
+    if (lookahead_)
+        return "lookahead-N";
+    switch (policy_) {
+      case Policy::Always:
+        return "next-line (always)";
+      case Policy::OnMiss:
+        return "next-line (on miss)";
+      case Policy::Tagged:
+        return degree_ == 1 ? "next-line (tagged)"
+                            : "next-N-lines (tagged)";
+    }
+    return "?";
+}
+
+} // namespace ipref

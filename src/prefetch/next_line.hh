@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Sequential prefetchers: next-line (always / on-miss / tagged),
+ * next-N-line tagged, and the lookahead-N variant that prefetches a
+ * single line N ahead of the active one.
+ */
+
+#ifndef IPREF_PREFETCH_NEXT_LINE_HH
+#define IPREF_PREFETCH_NEXT_LINE_HH
+
+#include "prefetch/prefetcher.hh"
+
+namespace ipref
+{
+
+/**
+ * Family of purely sequential prefetchers. Policy and distance are
+ * selected by the config; all share the candidate-generation core.
+ */
+class NextLinePrefetcher : public InstructionPrefetcher
+{
+  public:
+    /** Trigger policy. */
+    enum class Policy
+    {
+        Always, //!< every demand line fetch
+        OnMiss, //!< only demand misses
+        Tagged, //!< miss or first use of a prefetched line
+    };
+
+    /**
+     * @param policy    trigger policy
+     * @param degree    how many sequential lines to prefetch
+     * @param lineBytes L1I line size
+     * @param lookahead if true, prefetch only line L+degree instead
+     *                  of L+1..L+degree (the scheme of [4])
+     */
+    NextLinePrefetcher(Policy policy, unsigned degree,
+                       unsigned lineBytes, bool lookahead = false);
+
+    void onDemandFetch(const DemandFetchEvent &event,
+                       std::vector<PrefetchCandidate> &out) override;
+
+    const char *name() const override;
+
+  private:
+    Policy policy_;
+    unsigned degree_;
+    unsigned lineBytes_;
+    bool lookahead_;
+};
+
+} // namespace ipref
+
+#endif // IPREF_PREFETCH_NEXT_LINE_HH

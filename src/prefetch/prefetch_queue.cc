@@ -1,0 +1,96 @@
+#include "prefetch/prefetch_queue.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ipref
+{
+
+PrefetchQueue::PrefetchQueue(unsigned capacity) : capacity_(capacity)
+{
+    ipref_assert(capacity_ >= 1);
+}
+
+void
+PrefetchQueue::makeRoom()
+{
+    if (slots_.size() < capacity_)
+        return;
+    // Prefer reclaiming the oldest issued/invalidated record; those
+    // only exist opportunistically in "unused" entries.
+    for (auto it = slots_.rbegin(); it != slots_.rend(); ++it) {
+        if (it->state != State::Waiting) {
+            slots_.erase(std::next(it).base());
+            return;
+        }
+    }
+    // All slots hold waiting prefetches: drop the oldest one.
+    slots_.pop_back();
+    ++overflowDrops;
+}
+
+PrefetchQueue::PushResult
+PrefetchQueue::push(const PrefetchCandidate &cand)
+{
+    ++pushes;
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+        if (it->cand.lineAddr != cand.lineAddr)
+            continue;
+        switch (it->state) {
+          case State::Waiting: {
+            // Hoist the existing entry to the head of the queue.
+            Slot s = *it;
+            slots_.erase(it);
+            slots_.push_front(s);
+            ++hoists;
+            return PushResult::Hoisted;
+          }
+          case State::Issued:
+            ++duplicateDrops;
+            return PushResult::DroppedIssued;
+          case State::Invalidated:
+            ++duplicateDrops;
+            return PushResult::DroppedInvalid;
+        }
+    }
+    makeRoom();
+    slots_.push_front(Slot{cand, State::Waiting});
+    return PushResult::Inserted;
+}
+
+std::optional<PrefetchCandidate>
+PrefetchQueue::popForIssue()
+{
+    for (auto &slot : slots_) {
+        if (slot.state == State::Waiting) {
+            slot.state = State::Issued;
+            return slot.cand;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+PrefetchQueue::demandFetched(Addr lineAddr)
+{
+    for (auto &slot : slots_) {
+        if (slot.state == State::Waiting &&
+            slot.cand.lineAddr == lineAddr) {
+            slot.state = State::Invalidated;
+            ++demandInvalidations;
+        }
+    }
+}
+
+unsigned
+PrefetchQueue::waiting() const
+{
+    unsigned n = 0;
+    for (const auto &slot : slots_)
+        if (slot.state == State::Waiting)
+            ++n;
+    return n;
+}
+
+} // namespace ipref

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The prefetch queue of Section 4.1: a fixed-capacity LIFO structure
+ * holding prefetches awaiting the instruction-cache tag port.
+ *
+ * Behaviours reproduced from the paper:
+ *  - last-in, first-out issue (de-emphasizes stale prefetches);
+ *  - overflow drops the oldest prefetches first;
+ *  - duplicate pushes never create a second entry: a waiting
+ *    duplicate is hoisted to the head, a duplicate of an issued or
+ *    invalidated record is dropped;
+ *  - demand fetches invalidate matching waiting entries;
+ *  - unused slots retain records of issued/invalidated prefetches so
+ *    near-future duplicates can be suppressed.
+ */
+
+#ifndef IPREF_PREFETCH_PREFETCH_QUEUE_HH
+#define IPREF_PREFETCH_PREFETCH_QUEUE_HH
+
+#include <deque>
+#include <optional>
+
+#include "prefetch/prefetcher.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace ipref
+{
+
+/** The per-core prefetch queue. */
+class PrefetchQueue
+{
+  public:
+    explicit PrefetchQueue(unsigned capacity);
+
+    /** Result of a push. */
+    enum class PushResult
+    {
+        Inserted,       //!< new entry at the head
+        Hoisted,        //!< waiting duplicate moved to the head
+        DroppedIssued,  //!< duplicate of an already-issued prefetch
+        DroppedInvalid, //!< duplicate of an invalidated prefetch
+    };
+
+    /** Offer a candidate to the queue. */
+    PushResult push(const PrefetchCandidate &cand);
+
+    /**
+     * Take the newest waiting prefetch for issue; its slot becomes an
+     * "issued" record that stays behind for duplicate suppression.
+     */
+    std::optional<PrefetchCandidate> popForIssue();
+
+    /** A demand fetch of @p lineAddr invalidates matching entries. */
+    void demandFetched(Addr lineAddr);
+
+    /** Waiting entries currently queued. */
+    unsigned waiting() const;
+
+    /** All occupied slots (waiting + records). */
+    unsigned size() const { return static_cast<unsigned>(slots_.size()); }
+
+    unsigned capacity() const { return capacity_; }
+
+    // Statistics.
+    Counter pushes;
+    Counter hoists;
+    Counter duplicateDrops;
+    Counter overflowDrops;   //!< waiting prefetches lost to overflow
+    Counter demandInvalidations;
+
+  private:
+    enum class State : std::uint8_t
+    {
+        Waiting,
+        Issued,
+        Invalidated,
+    };
+    struct Slot
+    {
+        PrefetchCandidate cand;
+        State state;
+    };
+
+    /** Make room for one more slot; drops records before prefetches. */
+    void makeRoom();
+
+    std::deque<Slot> slots_; //!< front = newest
+    unsigned capacity_;
+};
+
+} // namespace ipref
+
+#endif // IPREF_PREFETCH_PREFETCH_QUEUE_HH

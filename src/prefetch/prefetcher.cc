@@ -1,0 +1,97 @@
+#include "prefetch/prefetcher.hh"
+
+#include "prefetch/discontinuity.hh"
+#include "prefetch/next_line.hh"
+#include "prefetch/target_prefetcher.hh"
+#include "prefetch/call_graph.hh"
+#include "prefetch/wrong_path.hh"
+#include "util/logging.hh"
+
+namespace ipref
+{
+
+const char *
+schemeName(PrefetchScheme scheme)
+{
+    switch (scheme) {
+      case PrefetchScheme::None: return "no prefetch";
+      case PrefetchScheme::NextLineAlways: return "next-line (always)";
+      case PrefetchScheme::NextLineOnMiss: return "next-line (on miss)";
+      case PrefetchScheme::NextLineTagged: return "next-line (tagged)";
+      case PrefetchScheme::NextNLineTagged:
+        return "next-4-lines (tagged)";
+      case PrefetchScheme::LookaheadN: return "lookahead-N";
+      case PrefetchScheme::Discontinuity: return "discontinuity";
+      case PrefetchScheme::TargetHistory: return "target";
+      case PrefetchScheme::WrongPath: return "wrong-path";
+      case PrefetchScheme::CallGraph: return "call-graph";
+    }
+    return "?";
+}
+
+PrefetchScheme
+parseScheme(const std::string &name)
+{
+    if (name == "none")
+        return PrefetchScheme::None;
+    if (name == "nl-always")
+        return PrefetchScheme::NextLineAlways;
+    if (name == "nl-miss")
+        return PrefetchScheme::NextLineOnMiss;
+    if (name == "nl-tagged")
+        return PrefetchScheme::NextLineTagged;
+    if (name == "n4l" || name == "nnl-tagged")
+        return PrefetchScheme::NextNLineTagged;
+    if (name == "lookahead")
+        return PrefetchScheme::LookaheadN;
+    if (name == "discontinuity" || name == "disc")
+        return PrefetchScheme::Discontinuity;
+    if (name == "target")
+        return PrefetchScheme::TargetHistory;
+    if (name == "wrong-path" || name == "wrongpath")
+        return PrefetchScheme::WrongPath;
+    if (name == "call-graph" || name == "cgp")
+        return PrefetchScheme::CallGraph;
+    ipref_fatal("unknown prefetch scheme '%s'", name.c_str());
+}
+
+std::unique_ptr<InstructionPrefetcher>
+createPrefetcher(const PrefetchConfig &cfg)
+{
+    using Policy = NextLinePrefetcher::Policy;
+    switch (cfg.scheme) {
+      case PrefetchScheme::None:
+        return nullptr;
+      case PrefetchScheme::NextLineAlways:
+        return std::make_unique<NextLinePrefetcher>(Policy::Always, 1,
+                                                    cfg.lineBytes);
+      case PrefetchScheme::NextLineOnMiss:
+        return std::make_unique<NextLinePrefetcher>(Policy::OnMiss, 1,
+                                                    cfg.lineBytes);
+      case PrefetchScheme::NextLineTagged:
+        return std::make_unique<NextLinePrefetcher>(Policy::Tagged, 1,
+                                                    cfg.lineBytes);
+      case PrefetchScheme::NextNLineTagged:
+        return std::make_unique<NextLinePrefetcher>(
+            Policy::Tagged, cfg.degree, cfg.lineBytes);
+      case PrefetchScheme::LookaheadN:
+        return std::make_unique<NextLinePrefetcher>(
+            Policy::Tagged, cfg.degree, cfg.lineBytes, true);
+      case PrefetchScheme::Discontinuity:
+        return std::make_unique<DiscontinuityPrefetcher>(
+            cfg.tableEntries, cfg.degree, cfg.lineBytes);
+      case PrefetchScheme::TargetHistory:
+        return std::make_unique<TargetPrefetcher>(
+            cfg.tableEntries, cfg.targetWays, cfg.lineBytes);
+      case PrefetchScheme::WrongPath:
+        return std::make_unique<WrongPathPrefetcher>(
+            std::min(cfg.degree, 2u), cfg.lineBytes);
+      case PrefetchScheme::CallGraph:
+        return std::make_unique<CallGraphPrefetcher>(
+            cfg.tableEntries, /*calleeSlots=*/8,
+            std::min(cfg.degree, 2u), cfg.lineBytes);
+    }
+    ipref_fatal("bad prefetch scheme");
+}
+
+} // namespace ipref

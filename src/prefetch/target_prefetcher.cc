@@ -1,0 +1,105 @@
+#include "prefetch/target_prefetcher.hh"
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace ipref
+{
+
+TargetPrefetcher::TargetPrefetcher(unsigned entries, unsigned ways,
+                                   unsigned lineBytes, bool nonSeqOnly)
+    : ways_(ways),
+      nonSeqOnly_(nonSeqOnly)
+{
+    if (!isPowerOfTwo(entries))
+        ipref_fatal("target table entries (%u) must be a power of two",
+                    entries);
+    ipref_assert(ways_ >= 1);
+    table_.resize(entries);
+    for (auto &e : table_)
+        e.ways.resize(ways_);
+    lineShift_ = floorLog2(lineBytes);
+    mask_ = entries - 1;
+}
+
+std::uint32_t
+TargetPrefetcher::indexOf(Addr line) const
+{
+    std::uint64_t ln = line >> lineShift_;
+    return static_cast<std::uint32_t>(
+        (ln ^ (ln >> (floorLog2(static_cast<std::uint64_t>(mask_) + 1))))
+        & mask_);
+}
+
+void
+TargetPrefetcher::record(Addr trigger, Addr target)
+{
+    Entry &e = table_[indexOf(trigger)];
+    if (!e.valid || e.trigger != trigger) {
+        e.valid = true;
+        e.trigger = trigger;
+        for (auto &w : e.ways)
+            w.valid = false;
+    }
+    // Already remembered? refresh recency.
+    for (auto &w : e.ways) {
+        if (w.valid && w.target == target) {
+            w.lastUse = ++useClock_;
+            return;
+        }
+    }
+    // Install into an invalid or the least-recently-used way.
+    Way *victim = &e.ways[0];
+    for (auto &w : e.ways) {
+        if (!w.valid) {
+            victim = &w;
+            break;
+        }
+        if (w.lastUse < victim->lastUse)
+            victim = &w;
+    }
+    victim->valid = true;
+    victim->target = target;
+    victim->lastUse = ++useClock_;
+}
+
+void
+TargetPrefetcher::onDemandFetch(const DemandFetchEvent &event,
+                                std::vector<PrefetchCandidate> &out)
+{
+    const unsigned line_bytes = 1u << lineShift_;
+
+    // Learn the successor relation from the demand stream.
+    if (lastLine_ != invalidAddr && event.lineAddr != lastLine_) {
+        bool sequential = event.lineAddr == lastLine_ + line_bytes;
+        if (!sequential || !nonSeqOnly_)
+            record(lastLine_, event.lineAddr);
+    }
+    lastLine_ = event.lineAddr;
+
+    // Predict: probe with the active line on every fetch.
+    const Entry &e = table_[indexOf(event.lineAddr)];
+    if (e.valid && e.trigger == event.lineAddr) {
+        ++tableHits;
+        for (const auto &w : e.ways) {
+            if (!w.valid)
+                continue;
+            PrefetchCandidate c;
+            c.lineAddr = w.target;
+            c.origin = PrefetchOrigin::TargetTable;
+            out.push_back(c);
+        }
+    } else {
+        ++tableMisses;
+    }
+    // Cover the sequential successor as well (next-line on every
+    // fetch, as the original scheme pairs target and next-line).
+    if (event.taggedTrigger()) {
+        PrefetchCandidate c;
+        c.lineAddr = event.lineAddr + line_bytes;
+        c.origin = PrefetchOrigin::Sequential;
+        out.push_back(c);
+    }
+}
+
+} // namespace ipref

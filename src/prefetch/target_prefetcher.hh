@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Classic history-based target prefetcher (Smith & Hsu [1,5]):
+ * a table maps each fetched line to the next line(s) that followed it
+ * in the past; on every demand fetch the table is probed with the
+ * active line and prefetches are issued for the remembered
+ * successors. Retains multiple targets per entry — the baseline the
+ * paper's single-target, miss-allocated design is contrasted with.
+ */
+
+#ifndef IPREF_PREFETCH_TARGET_PREFETCHER_HH
+#define IPREF_PREFETCH_TARGET_PREFETCHER_HH
+
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+#include "util/stats.hh"
+
+namespace ipref
+{
+
+/** Multi-target history prefetcher. */
+class TargetPrefetcher : public InstructionPrefetcher
+{
+  public:
+    /**
+     * @param entries    table entries (power of two)
+     * @param ways       targets remembered per entry
+     * @param lineBytes  L1I line size
+     * @param nonSeqOnly record only non-sequential successors (the
+     *                   usual space optimization)
+     */
+    TargetPrefetcher(unsigned entries, unsigned ways,
+                     unsigned lineBytes, bool nonSeqOnly = true);
+
+    void onDemandFetch(const DemandFetchEvent &event,
+                       std::vector<PrefetchCandidate> &out) override;
+
+    const char *name() const override { return "target"; }
+
+    Counter tableHits;
+    Counter tableMisses;
+
+  private:
+    struct Way
+    {
+        Addr target = 0;
+        std::uint32_t lastUse = 0;
+        bool valid = false;
+    };
+    struct Entry
+    {
+        Addr trigger = 0;
+        bool valid = false;
+        std::vector<Way> ways;
+    };
+
+    std::uint32_t indexOf(Addr line) const;
+    void record(Addr trigger, Addr target);
+
+    std::vector<Entry> table_;
+    unsigned ways_;
+    unsigned lineShift_;
+    std::uint32_t mask_;
+    bool nonSeqOnly_;
+    std::uint32_t useClock_ = 0;
+
+    Addr lastLine_ = invalidAddr;
+};
+
+} // namespace ipref
+
+#endif // IPREF_PREFETCH_TARGET_PREFETCHER_HH

@@ -1,0 +1,52 @@
+#include "prefetch/wrong_path.hh"
+
+#include "util/logging.hh"
+
+namespace ipref
+{
+
+WrongPathPrefetcher::WrongPathPrefetcher(unsigned degree,
+                                         unsigned lineBytes)
+    : degree_(degree),
+      lineBytes_(lineBytes)
+{
+    ipref_assert(degree_ >= 1);
+}
+
+void
+WrongPathPrefetcher::onDemandFetch(const DemandFetchEvent &event,
+                                   std::vector<PrefetchCandidate> &out)
+{
+    // Sequential component (next-line tagged), as in the original
+    // proposal's sequential fetch engine.
+    if (!event.taggedTrigger())
+        return;
+    PrefetchCandidate c;
+    c.lineAddr = event.lineAddr + lineBytes_;
+    c.origin = PrefetchOrigin::Sequential;
+    out.push_back(c);
+}
+
+void
+WrongPathPrefetcher::onBranch(const BranchEvent &event,
+                              std::vector<PrefetchCandidate> &out)
+{
+    // The path the front end does NOT follow.
+    Addr wrong = event.taken ? event.fallthrough : event.takenTarget;
+    Addr followed = event.taken ? event.takenTarget
+                                : event.fallthrough;
+    Addr line_mask = ~static_cast<Addr>(lineBytes_ - 1);
+    // Only worth prefetching when the wrong path starts in a line
+    // the followed path does not enter anyway.
+    if ((wrong & line_mask) == (followed & line_mask))
+        return;
+    for (unsigned i = 0; i < degree_; ++i) {
+        PrefetchCandidate c;
+        c.lineAddr = (wrong & line_mask) +
+                     static_cast<Addr>(i) * lineBytes_;
+        c.origin = PrefetchOrigin::TargetTable;
+        out.push_back(c);
+    }
+}
+
+} // namespace ipref

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Wrong-path instruction prefetching (Pierce & Mudge [12], discussed
+ * in Section 2.3 of the paper): for conditional branches, the
+ * direction NOT followed is prefetched, on the observation that both
+ * outcomes of many branches execute within a short window — fetching
+ * down one path effectively prefetches the other for later use.
+ *
+ * Implemented as a related-work baseline: candidates come from the
+ * branch stream (onBranch) rather than the fetch-line stream; a
+ * next-line component covers sequential misses like the original
+ * proposal's underlying fetch unit.
+ */
+
+#ifndef IPREF_PREFETCH_WRONG_PATH_HH
+#define IPREF_PREFETCH_WRONG_PATH_HH
+
+#include "prefetch/prefetcher.hh"
+
+namespace ipref
+{
+
+/** A conditional-branch observation delivered to prefetchers. */
+struct BranchEvent
+{
+    Addr branchPc = 0;
+    Addr takenTarget = 0;   //!< target if taken
+    Addr fallthrough = 0;   //!< pc + 4
+    bool taken = false;     //!< actual outcome
+};
+
+/** Wrong-path prefetcher: fetches the unfollowed branch direction. */
+class WrongPathPrefetcher : public InstructionPrefetcher
+{
+  public:
+    WrongPathPrefetcher(unsigned degree, unsigned lineBytes);
+
+    void onDemandFetch(const DemandFetchEvent &event,
+                       std::vector<PrefetchCandidate> &out) override;
+
+    /** Observe a conditional branch and prefetch the other path. */
+    void onBranch(const BranchEvent &event,
+                  std::vector<PrefetchCandidate> &out);
+
+    const char *name() const override { return "wrong-path"; }
+
+  private:
+    unsigned degree_;
+    unsigned lineBytes_;
+};
+
+} // namespace ipref
+
+#endif // IPREF_PREFETCH_WRONG_PATH_HH

@@ -1,0 +1,81 @@
+#include "sim/experiment.hh"
+
+#include <cstdlib>
+
+namespace ipref
+{
+
+SystemConfig
+makeConfig(const RunSpec &spec)
+{
+    SystemConfig cfg;
+    cfg.numCores = spec.cmp ? 4 : 1;
+    cfg.workloads = spec.workloads;
+    cfg.baseSeed = spec.baseSeed;
+    cfg.functional = spec.functional;
+
+    cfg.hierarchy.l1i.sizeBytes = spec.l1iBytes;
+    cfg.hierarchy.l1i.assoc = spec.l1iAssoc;
+    cfg.hierarchy.l1i.lineBytes = spec.lineBytes;
+    cfg.hierarchy.l1d.lineBytes = spec.lineBytes;
+    cfg.hierarchy.l2.sizeBytes = spec.l2Bytes;
+    cfg.hierarchy.l2.lineBytes = spec.lineBytes;
+    cfg.hierarchy.prefetchBypassL2 = spec.bypassL2;
+    cfg.hierarchy.idealEliminate = spec.idealEliminate;
+
+    // Off-chip bandwidth: 10 GB/s single core, 20 GB/s CMP (paper §5).
+    cfg.hierarchy.memory.gbPerSec = spec.cmp ? 20.0 : 10.0;
+    cfg.hierarchy.memory.lineBytes = spec.lineBytes;
+
+    cfg.prefetch.scheme = spec.scheme;
+    cfg.prefetch.degree = spec.degree;
+    cfg.prefetch.tableEntries = spec.tableEntries;
+    cfg.prefetch.targetWays = spec.targetWays;
+
+    double scale = spec.instrScale;
+    if (spec.functional) {
+        cfg.warmupInstrs =
+            static_cast<std::uint64_t>(1'000'000 * scale);
+        cfg.measureInstrs =
+            static_cast<std::uint64_t>(3'000'000 * scale);
+    } else {
+        cfg.warmupInstrs =
+            static_cast<std::uint64_t>(600'000 * scale);
+        cfg.measureInstrs =
+            static_cast<std::uint64_t>(1'600'000 * scale);
+    }
+    return cfg;
+}
+
+SimResults
+runSpec(const RunSpec &spec)
+{
+    System system(makeConfig(spec));
+    return system.run();
+}
+
+std::vector<WorkloadSet>
+figureWorkloads(bool includeMix)
+{
+    std::vector<WorkloadSet> sets;
+    for (WorkloadKind k : allWorkloadKinds())
+        sets.push_back({workloadName(k), {k}});
+    if (includeMix) {
+        sets.push_back({"Mixed",
+                        {WorkloadKind::DB, WorkloadKind::TPCW,
+                         WorkloadKind::JAPP, WorkloadKind::WEB}});
+    }
+    return sets;
+}
+
+double
+envScale()
+{
+    const char *s = std::getenv("IPREF_SCALE");
+    if (!s)
+        return 1.0;
+    double v = std::strtod(s, nullptr);
+    return v > 0 ? v : 1.0;
+}
+
+} // namespace ipref

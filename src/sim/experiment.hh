@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Experiment helpers shared by the benches and examples: canonical
+ * paper configurations (Section 5) and one-call runners.
+ */
+
+#ifndef IPREF_SIM_EXPERIMENT_HH
+#define IPREF_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace ipref
+{
+
+/** Declarative description of one experimental run. */
+struct RunSpec
+{
+    /** 4-way CMP (true) or the single-core comparison point. */
+    bool cmp = true;
+    /** Workloads (see SystemConfig::workloads semantics). */
+    std::vector<WorkloadKind> workloads{WorkloadKind::DB};
+    /** Single-core time-sliced mixed when !cmp and 4 workloads. */
+
+    PrefetchScheme scheme = PrefetchScheme::None;
+    unsigned degree = 4;
+    unsigned tableEntries = 8192;
+    unsigned targetWays = 2;
+    bool bypassL2 = false;
+
+    /** Limit study (Figure 4): miss groups to eliminate. */
+    std::array<bool, static_cast<std::size_t>(MissGroup::NumGroups)>
+        idealEliminate{};
+
+    /** Functional (miss-rate-only) instead of timing simulation. */
+    bool functional = false;
+
+    std::uint64_t l2Bytes = 2u << 20;
+    std::uint64_t l1iBytes = 32u << 10;
+    unsigned l1iAssoc = 4;
+    unsigned lineBytes = 64;
+
+    /** Scales the default warm-up/measure instruction budgets. */
+    double instrScale = 1.0;
+
+    std::uint64_t baseSeed = 1;
+};
+
+/** Expand a RunSpec into a full SystemConfig (paper defaults). */
+SystemConfig makeConfig(const RunSpec &spec);
+
+/** Build, run, and return measurement results for @p spec. */
+SimResults runSpec(const RunSpec &spec);
+
+/** A labelled workload set for figure loops ("DB".."Web", "Mixed"). */
+struct WorkloadSet
+{
+    std::string label;
+    std::vector<WorkloadKind> kinds;
+};
+
+/** The paper's x-axis: four applications, optionally plus Mixed. */
+std::vector<WorkloadSet> figureWorkloads(bool includeMix);
+
+/**
+ * Benchmark scale factor: from the IPREF_SCALE environment variable
+ * (default 1.0). Larger values run longer and smooth the curves.
+ */
+double envScale();
+
+} // namespace ipref
+
+#endif // IPREF_SIM_EXPERIMENT_HH

@@ -1,0 +1,330 @@
+#include "sim/system.hh"
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace ipref
+{
+
+std::string
+SystemConfig::workloadSetName() const
+{
+    if (workloads.empty())
+        return "none";
+    if (workloads.size() > 1)
+        return "Mixed";
+    return workloadName(workloads[0]);
+}
+
+SimResults
+SimResults::delta(const SimResults &end, const SimResults &start)
+{
+    SimResults d;
+    d.instructions = end.instructions - start.instructions;
+    d.cycles = end.cycles - start.cycles;
+    d.fetchLineAccesses =
+        end.fetchLineAccesses - start.fetchLineAccesses;
+    d.l1iMisses = end.l1iMisses - start.l1iMisses;
+    d.l1iEliminated = end.l1iEliminated - start.l1iEliminated;
+    d.l1iFirstUseHits = end.l1iFirstUseHits - start.l1iFirstUseHits;
+    d.l1iLateHits = end.l1iLateHits - start.l1iLateHits;
+    d.l2iMisses = end.l2iMisses - start.l2iMisses;
+    d.l1dAccesses = end.l1dAccesses - start.l1dAccesses;
+    d.l1dMisses = end.l1dMisses - start.l1dMisses;
+    d.l2dMisses = end.l2dMisses - start.l2dMisses;
+    for (std::size_t i = 0; i < d.l1iMissByTransition.size(); ++i) {
+        d.l1iMissByTransition[i] = end.l1iMissByTransition[i] -
+                                   start.l1iMissByTransition[i];
+        d.l2iMissByTransition[i] = end.l2iMissByTransition[i] -
+                                   start.l2iMissByTransition[i];
+    }
+    d.pfCandidates = end.pfCandidates - start.pfCandidates;
+    d.pfIssued = end.pfIssued - start.pfIssued;
+    d.pfIssuedOffChip = end.pfIssuedOffChip - start.pfIssuedOffChip;
+    d.pfUseful = end.pfUseful - start.pfUseful;
+    d.pfLate = end.pfLate - start.pfLate;
+    d.pfUseless = end.pfUseless - start.pfUseless;
+    d.pfFiltered = end.pfFiltered - start.pfFiltered;
+    d.pfTagProbes = end.pfTagProbes - start.pfTagProbes;
+    d.pfTagProbeHits = end.pfTagProbeHits - start.pfTagProbeHits;
+    d.bypassInstalls = end.bypassInstalls - start.bypassInstalls;
+    d.bypassDrops = end.bypassDrops - start.bypassDrops;
+    d.memReads = end.memReads - start.memReads;
+    d.memPrefetchReads =
+        end.memPrefetchReads - start.memPrefetchReads;
+    d.memWrites = end.memWrites - start.memWrites;
+    d.memQueueDelayCycles =
+        end.memQueueDelayCycles - start.memQueueDelayCycles;
+    d.branchCtis = end.branchCtis - start.branchCtis;
+    d.branchMispredicts =
+        end.branchMispredicts - start.branchMispredicts;
+    return d;
+}
+
+System::System(const SystemConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.numCores == 0)
+        ipref_fatal("numCores must be >= 1");
+    if (cfg_.workloads.empty())
+        ipref_fatal("no workloads configured");
+    if (cfg_.workloads.size() != 1 &&
+        cfg_.workloads.size() != cfg_.numCores && cfg_.numCores != 1)
+        ipref_fatal("workload list must have 1 entry, numCores "
+                    "entries, or run on a single core (time-sliced)");
+
+    cfg_.hierarchy.numCores = cfg_.numCores;
+    if (cfg_.functional)
+        cfg_.hierarchy.makeFunctional();
+    cfg_.prefetch.lineBytes = cfg_.hierarchy.l1i.lineBytes;
+
+    hierarchy_ = std::make_unique<CacheHierarchy>(cfg_.hierarchy);
+
+    // Workload walkers.
+    if (cfg_.numCores == 1 && cfg_.workloads.size() > 1) {
+        // Time-sliced mixed on one core: one walker per application.
+        for (std::size_t i = 0; i < cfg_.workloads.size(); ++i)
+            workloads_.push_back(makeWorkload(
+                cfg_.workloads[i], static_cast<CoreId>(i),
+                cfg_.baseSeed));
+    } else {
+        for (unsigned c = 0; c < cfg_.numCores; ++c) {
+            WorkloadKind kind = cfg_.workloads.size() == 1
+                                    ? cfg_.workloads[0]
+                                    : cfg_.workloads[c];
+            workloads_.push_back(
+                makeWorkload(kind, c, cfg_.baseSeed));
+        }
+    }
+
+    for (unsigned c = 0; c < cfg_.numCores; ++c)
+        engines_.push_back(std::make_unique<PrefetchEngine>(
+            cfg_.prefetch, c, *hierarchy_));
+
+    // Core c starts on walker c; a single time-sliced core starts on
+    // slice 0 and rotates during run().
+    if (cfg_.functional) {
+        funcState_.resize(cfg_.numCores);
+        for (unsigned c = 0; c < cfg_.numCores; ++c)
+            funcState_[c].trace = workloads_[c].get();
+    } else {
+        for (unsigned c = 0; c < cfg_.numCores; ++c)
+            cores_.push_back(std::make_unique<OoOCore>(
+                c, cfg_.core, *hierarchy_, *engines_[c],
+                workloads_[c].get()));
+    }
+}
+
+System::~System() = default;
+
+std::uint64_t
+System::progress() const
+{
+    std::uint64_t total = 0;
+    if (cfg_.functional) {
+        for (const auto &st : funcState_)
+            total += st.emitted;
+    } else {
+        for (const auto &core : cores_)
+            total += core->committed();
+    }
+    return total;
+}
+
+void
+System::runTiming(std::uint64_t targetInstrs)
+{
+    bool sliced = cfg_.numCores == 1 && workloads_.size() > 1;
+    Cycle guard =
+        now_ + 1000 + 400 * (targetInstrs - std::min(targetInstrs,
+                                                     progress()));
+    while (progress() < targetInstrs) {
+        for (auto &core : cores_)
+            core->tick(now_);
+        ++now_;
+        if (sliced) {
+            std::uint64_t done = cores_[0]->committed();
+            if (done - sliceStart_ >= cfg_.timeSliceInstrs) {
+                activeSlice_ =
+                    (activeSlice_ + 1) % workloads_.size();
+                cores_[0]->setTrace(workloads_[activeSlice_].get());
+                sliceStart_ = done;
+            }
+        }
+        if (now_ > guard)
+            ipref_panic("timing simulation is not making progress "
+                        "(IPC < 0.0025)");
+    }
+}
+
+void
+System::runFunctional(std::uint64_t targetInstrs)
+{
+    bool sliced = cfg_.numCores == 1 && workloads_.size() > 1;
+    while (progress() < targetInstrs) {
+        for (unsigned c = 0; c < cfg_.numCores; ++c) {
+            FuncState &st = funcState_[c];
+            InstrRecord rec;
+            if (!st.trace->next(rec))
+                ipref_panic("workload stream ended unexpectedly");
+            Addr line = hierarchy_->lineOf(rec.pc);
+            bool line_access = line != st.curLine;
+            if (line_access) {
+                FetchTransition tr =
+                    st.havePrev ? st.prev.transitionType()
+                                : FetchTransition::Sequential;
+                FetchResult res = hierarchy_->fetchAccess(
+                    c, rec.pc, tr, now_);
+                DemandFetchEvent ev;
+                ev.lineAddr = line;
+                ev.prevLineAddr = st.curLine;
+                ev.transition = tr;
+                ev.miss = res.l1Miss;
+                ev.firstUseOfPrefetch = res.firstUseOfPrefetch;
+                ev.latePrefetchHit = res.latePrefetchHit;
+                engines_[c]->onDemandFetch(ev);
+                st.curLine = line;
+            }
+            if (rec.isMem())
+                hierarchy_->dataAccess(c, rec.dataAddr,
+                                       rec.op == OpClass::Store,
+                                       now_);
+            if (rec.op == OpClass::Call ||
+                rec.op == OpClass::Jump ||
+                rec.op == OpClass::Return) {
+                FunctionEvent fe;
+                fe.isReturn = rec.op == OpClass::Return;
+                fe.sitePc = rec.pc;
+                fe.target = rec.target;
+                engines_[c]->onFunction(fe);
+            }
+            if (rec.op == OpClass::CondBranch) {
+                BranchEvent be;
+                be.branchPc = rec.pc;
+                be.takenTarget = rec.target;
+                be.fallthrough = rec.pc + instrBytes;
+                be.taken = rec.taken;
+                engines_[c]->onBranch(be);
+            }
+            engines_[c]->tick(now_, !line_access);
+            st.prev = rec;
+            st.havePrev = true;
+            ++st.emitted;
+        }
+        ++now_;
+        if (sliced) {
+            FuncState &st = funcState_[0];
+            if (st.emitted - sliceStart_ >= cfg_.timeSliceInstrs) {
+                activeSlice_ =
+                    (activeSlice_ + 1) % workloads_.size();
+                st.trace = workloads_[activeSlice_].get();
+                sliceStart_ = st.emitted;
+            }
+        }
+    }
+}
+
+SimResults
+System::collect() const
+{
+    SimResults r;
+    r.instructions = progress();
+    r.cycles = now_;
+
+    const CacheHierarchy &h = *hierarchy_;
+    r.fetchLineAccesses = h.fetchLineAccesses.value();
+    r.l1iMisses = h.l1iMisses.value();
+    r.l1iEliminated = h.l1iEliminated.value();
+    r.l1iFirstUseHits = h.l1iFirstUseHits.value();
+    r.l1iLateHits = h.l1iLateHits.value();
+    r.l2iMisses = h.l2iMisses.value();
+    r.l1dAccesses = h.l1dAccesses.value();
+    r.l1dMisses = h.l1dMisses.value();
+    r.l2dMisses = h.l2dMisses.value();
+    for (std::size_t i = 0; i < r.l1iMissByTransition.size(); ++i) {
+        r.l1iMissByTransition[i] = h.l1iMissByTransition[i].value();
+        r.l2iMissByTransition[i] = h.l2iMissByTransition[i].value();
+    }
+    r.bypassInstalls = h.bypassInstalls.value();
+    r.bypassDrops = h.bypassDrops.value();
+
+    for (const auto &e : engines_) {
+        r.pfCandidates += e->candidates.value();
+        r.pfIssued += e->issued.value();
+        r.pfIssuedOffChip += e->issuedOffChip.value();
+        r.pfUseful += e->usefulPrefetches.value();
+        r.pfLate += e->latePrefetches.value();
+        r.pfUseless += e->uselessPrefetches.value();
+        r.pfFiltered += e->filteredRecent.value();
+        r.pfTagProbes += e->tagProbes.value();
+        r.pfTagProbeHits += e->tagProbeHits.value();
+    }
+
+    r.memReads = hierarchy_->memory().reads.value();
+    r.memPrefetchReads =
+        hierarchy_->memory().prefetchReads.value();
+    r.memWrites = hierarchy_->memory().writes.value();
+    r.memQueueDelayCycles =
+        hierarchy_->memory().queueDelayCycles.value();
+
+    for (const auto &core : cores_) {
+        r.branchCtis += core->predictor().ctis.value();
+        r.branchMispredicts +=
+            core->predictor().mispredicts.value();
+    }
+    return r;
+}
+
+SimResults
+System::run()
+{
+    if (cfg_.warmupInstrs > 0) {
+        if (cfg_.functional)
+            runFunctional(cfg_.warmupInstrs);
+        else
+            runTiming(cfg_.warmupInstrs);
+    }
+    SimResults start = collect();
+    std::uint64_t target = cfg_.warmupInstrs + cfg_.measureInstrs;
+    if (cfg_.functional)
+        runFunctional(target);
+    else
+        runTiming(target);
+    SimResults end = collect();
+    results_ = SimResults::delta(end, start);
+    results_.ipc =
+        results_.cycles
+            ? static_cast<double>(results_.instructions) /
+                  static_cast<double>(results_.cycles)
+            : 0.0;
+    return results_;
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    StatGroup root("system");
+
+    StatGroup hier("hierarchy");
+    hierarchy_->registerStats(hier);
+    hierarchy_->memory().registerStats(hier);
+    root.addChild(&hier);
+
+    std::vector<std::unique_ptr<StatGroup>> groups;
+    for (std::size_t c = 0; c < engines_.size(); ++c) {
+        auto g = std::make_unique<StatGroup>(
+            "prefetch." + std::to_string(c));
+        engines_[c]->registerStats(*g);
+        root.addChild(g.get());
+        groups.push_back(std::move(g));
+    }
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        auto g = std::make_unique<StatGroup>(
+            "core." + std::to_string(c));
+        cores_[c]->registerStats(*g);
+        root.addChild(g.get());
+        groups.push_back(std::move(g));
+    }
+    root.dump(os);
+}
+
+} // namespace ipref

@@ -1,0 +1,90 @@
+#include "trace/record.hh"
+
+#include "util/logging.hh"
+
+namespace ipref
+{
+
+const char *
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMul: return "IntMul";
+      case OpClass::FpAlu: return "FpAlu";
+      case OpClass::Load: return "Load";
+      case OpClass::Store: return "Store";
+      case OpClass::CondBranch: return "CondBranch";
+      case OpClass::UncondBranch: return "UncondBranch";
+      case OpClass::Call: return "Call";
+      case OpClass::Jump: return "Jump";
+      case OpClass::Return: return "Return";
+      case OpClass::Trap: return "Trap";
+      default: return "?";
+    }
+}
+
+const char *
+transitionName(FetchTransition t)
+{
+    switch (t) {
+      case FetchTransition::Sequential: return "Sequential";
+      case FetchTransition::CondNotTaken: return "Cond branch (nt)";
+      case FetchTransition::CondTakenFwd: return "Cond branch (tf)";
+      case FetchTransition::CondTakenBack: return "Cond branch (tb)";
+      case FetchTransition::UncondBranch: return "Uncond branch";
+      case FetchTransition::Call: return "Call";
+      case FetchTransition::Jump: return "Jump";
+      case FetchTransition::Return: return "Return";
+      case FetchTransition::Trap: return "Trap";
+      default: return "?";
+    }
+}
+
+MissGroup
+missGroup(FetchTransition t)
+{
+    switch (t) {
+      case FetchTransition::Sequential:
+        return MissGroup::Sequential;
+      case FetchTransition::CondNotTaken:
+      case FetchTransition::CondTakenFwd:
+      case FetchTransition::CondTakenBack:
+      case FetchTransition::UncondBranch:
+        return MissGroup::Branch;
+      case FetchTransition::Call:
+      case FetchTransition::Jump:
+      case FetchTransition::Return:
+        return MissGroup::Function;
+      case FetchTransition::Trap:
+        return MissGroup::Trap;
+      default:
+        ipref_panic("bad transition %d", static_cast<int>(t));
+    }
+}
+
+FetchTransition
+InstrRecord::transitionType() const
+{
+    switch (op) {
+      case OpClass::CondBranch:
+        if (!taken)
+            return FetchTransition::CondNotTaken;
+        return target > pc ? FetchTransition::CondTakenFwd
+                           : FetchTransition::CondTakenBack;
+      case OpClass::UncondBranch:
+        return FetchTransition::UncondBranch;
+      case OpClass::Call:
+        return FetchTransition::Call;
+      case OpClass::Jump:
+        return FetchTransition::Jump;
+      case OpClass::Return:
+        return FetchTransition::Return;
+      case OpClass::Trap:
+        return FetchTransition::Trap;
+      default:
+        return FetchTransition::Sequential;
+    }
+}
+
+} // namespace ipref

@@ -1,0 +1,147 @@
+#include "trace/trace_file.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace ipref
+{
+
+namespace
+{
+
+constexpr char traceMagic[8] = {'I', 'P', 'R', 'T', 'R', 'C', '0', '1'};
+constexpr std::size_t headerBytes = 32;
+
+void
+put64(unsigned char *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint64_t
+get64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+packRecord(const InstrRecord &rec, unsigned char *buf)
+{
+    put64(buf + 0, rec.pc);
+    put64(buf + 8, rec.target);
+    put64(buf + 16, rec.dataAddr);
+    buf[24] = static_cast<unsigned char>(rec.op);
+    buf[25] = rec.taken ? 1 : 0;
+    buf[26] = rec.srcReg[0];
+    buf[27] = rec.srcReg[1];
+    buf[28] = rec.dstReg;
+}
+
+void
+unpackRecord(const unsigned char *buf, InstrRecord &rec)
+{
+    rec.pc = get64(buf + 0);
+    rec.target = get64(buf + 8);
+    rec.dataAddr = get64(buf + 16);
+    rec.op = static_cast<OpClass>(buf[24]);
+    rec.taken = buf[25] != 0;
+    rec.srcReg[0] = buf[26];
+    rec.srcReg[1] = buf[27];
+    rec.dstReg = buf[28];
+}
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        ipref_fatal("cannot open trace file for writing: %s", path.c_str());
+    writeHeader();
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    if (!closed_)
+        close();
+}
+
+void
+TraceFileWriter::writeHeader()
+{
+    unsigned char hdr[headerBytes] = {};
+    std::memcpy(hdr, traceMagic, sizeof(traceMagic));
+    put64(hdr + 8, count_);
+    if (std::fwrite(hdr, 1, headerBytes, file_) != headerBytes)
+        ipref_fatal("short write on trace header: %s", path_.c_str());
+}
+
+void
+TraceFileWriter::write(const InstrRecord &rec)
+{
+    ipref_assert(!closed_);
+    unsigned char buf[traceRecordBytes];
+    packRecord(rec, buf);
+    if (std::fwrite(buf, 1, traceRecordBytes, file_) != traceRecordBytes)
+        ipref_fatal("short write on trace record: %s", path_.c_str());
+    ++count_;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (closed_)
+        return;
+    std::fseek(file_, 0, SEEK_SET);
+    writeHeader();
+    std::fclose(file_);
+    file_ = nullptr;
+    closed_ = true;
+}
+
+TraceFileReader::TraceFileReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        ipref_fatal("cannot open trace file: %s", path.c_str());
+    unsigned char hdr[headerBytes];
+    if (std::fread(hdr, 1, headerBytes, file_) != headerBytes)
+        ipref_fatal("trace file too short: %s", path.c_str());
+    if (std::memcmp(hdr, traceMagic, sizeof(traceMagic)) != 0)
+        ipref_fatal("bad trace magic in %s", path.c_str());
+    count_ = get64(hdr + 8);
+}
+
+TraceFileReader::~TraceFileReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceFileReader::next(InstrRecord &out)
+{
+    if (pos_ >= count_)
+        return false;
+    unsigned char buf[traceRecordBytes];
+    if (std::fread(buf, 1, traceRecordBytes, file_) != traceRecordBytes)
+        ipref_fatal("truncated trace file (record %llu)",
+                    static_cast<unsigned long long>(pos_));
+    unpackRecord(buf, out);
+    ++pos_;
+    return true;
+}
+
+void
+TraceFileReader::reset()
+{
+    std::fseek(file_, static_cast<long>(headerBytes), SEEK_SET);
+    pos_ = 0;
+}
+
+} // namespace ipref

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Binary trace file format: a fixed header followed by fixed-width
+ * little-endian records. Simple, seekable, and dependency-free.
+ *
+ * Layout:
+ *   header: magic "IPRTRC01" (8B), record count (8B), reserved (16B)
+ *   record: pc (8B), target (8B), dataAddr (8B), op (1B),
+ *           flags (1B: bit0 = taken), src0, src1, dst (3B) = 29 bytes
+ */
+
+#ifndef IPREF_TRACE_TRACE_FILE_HH
+#define IPREF_TRACE_TRACE_FILE_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/record.hh"
+#include "trace/trace_source.hh"
+
+namespace ipref
+{
+
+/** Size in bytes of one on-disk record. */
+inline constexpr std::size_t traceRecordBytes = 29;
+
+/** Streams InstrRecords into a binary trace file. */
+class TraceFileWriter
+{
+  public:
+    /** Open @p path for writing; fatal on failure. */
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    /** Append one record. */
+    void write(const InstrRecord &rec);
+
+    /** Flush buffers and rewrite the header with the final count. */
+    void close();
+
+    /** Records written so far. */
+    std::uint64_t count() const { return count_; }
+
+  private:
+    void writeHeader();
+
+    std::FILE *file_ = nullptr;
+    std::string path_;
+    std::uint64_t count_ = 0;
+    bool closed_ = false;
+};
+
+/** Reads a binary trace file as a TraceSource. */
+class TraceFileReader : public TraceSource
+{
+  public:
+    /** Open @p path; fatal on missing file or bad magic. */
+    explicit TraceFileReader(const std::string &path);
+    ~TraceFileReader() override;
+
+    TraceFileReader(const TraceFileReader &) = delete;
+    TraceFileReader &operator=(const TraceFileReader &) = delete;
+
+    bool next(InstrRecord &out) override;
+    void reset() override;
+
+    /** Total records in the file (from the header). */
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace ipref
+
+#endif // IPREF_TRACE_TRACE_FILE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Abstract instruction stream interface and an in-memory
+ * implementation for tests.
+ */
+
+#ifndef IPREF_TRACE_TRACE_SOURCE_HH
+#define IPREF_TRACE_TRACE_SOURCE_HH
+
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace ipref
+{
+
+/**
+ * A producer of dynamic instructions. Workload generators and trace
+ * file readers both implement this; the CPU model consumes it.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next instruction into @p out.
+     * @return false when the stream is exhausted.
+     */
+    virtual bool next(InstrRecord &out) = 0;
+
+    /** Restart the stream from the beginning (if supported). */
+    virtual void reset() = 0;
+};
+
+/** A TraceSource over a fixed vector of records (testing aid). */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(std::vector<InstrRecord> records)
+        : records_(std::move(records))
+    {}
+
+    bool
+    next(InstrRecord &out) override
+    {
+        if (pos_ >= records_.size())
+            return false;
+        out = records_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+  private:
+    std::vector<InstrRecord> records_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Wraps another source, looping it forever (reset on exhaustion).
+ * Useful for running short test traces under long simulations.
+ */
+class LoopingTraceSource : public TraceSource
+{
+  public:
+    explicit LoopingTraceSource(TraceSource &inner) : inner_(inner) {}
+
+    bool
+    next(InstrRecord &out) override
+    {
+        if (inner_.next(out))
+            return true;
+        inner_.reset();
+        return inner_.next(out);
+    }
+
+    void reset() override { inner_.reset(); }
+
+  private:
+    TraceSource &inner_;
+};
+
+} // namespace ipref
+
+#endif // IPREF_TRACE_TRACE_SOURCE_HH

@@ -1,0 +1,96 @@
+#include "trace/trace_stats.hh"
+
+#include <unordered_set>
+
+namespace ipref
+{
+
+double
+TraceSummary::opFraction(OpClass op) const
+{
+    if (instructions == 0)
+        return 0.0;
+    return static_cast<double>(opCounts[static_cast<std::size_t>(op)]) /
+           static_cast<double>(instructions);
+}
+
+double
+TraceSummary::discontinuityFraction() const
+{
+    std::uint64_t total = 0;
+    for (auto c : lineTransitions)
+        total += c;
+    if (total == 0)
+        return 0.0;
+    std::uint64_t seq =
+        lineTransitions[static_cast<std::size_t>(
+            FetchTransition::Sequential)] +
+        lineTransitions[static_cast<std::size_t>(
+            FetchTransition::CondNotTaken)];
+    return 1.0 - static_cast<double>(seq) / static_cast<double>(total);
+}
+
+void
+TraceSummary::print(std::ostream &os) const
+{
+    os << "instructions: " << instructions << "\n";
+    os << "unique code lines: " << codeLinesTouched << " ("
+       << codeLinesTouched * 64 / 1024 << " KB)\n";
+    os << "unique data lines: " << dataLinesTouched << " ("
+       << dataLinesTouched * 64 / 1024 << " KB)\n";
+    os << "op mix:\n";
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(OpClass::NumOpClasses); ++i) {
+        if (opCounts[i] == 0)
+            continue;
+        os << "  " << opClassName(static_cast<OpClass>(i)) << ": "
+           << opCounts[i] << " ("
+           << 100.0 * static_cast<double>(opCounts[i]) /
+                  static_cast<double>(instructions)
+           << "%)\n";
+    }
+    os << "line transitions:\n";
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(FetchTransition::NumTransitions);
+         ++i) {
+        if (lineTransitions[i] == 0)
+            continue;
+        os << "  " << transitionName(static_cast<FetchTransition>(i))
+           << ": " << lineTransitions[i] << "\n";
+    }
+}
+
+TraceSummary
+summarizeTrace(TraceSource &src, std::uint64_t maxInstrs)
+{
+    constexpr unsigned lineShift = 6; // 64B lines
+    TraceSummary s;
+    std::unordered_set<Addr> code_lines, data_lines;
+
+    InstrRecord rec;
+    InstrRecord prev;
+    bool have_prev = false;
+    while (s.instructions < maxInstrs && src.next(rec)) {
+        ++s.instructions;
+        ++s.opCounts[static_cast<std::size_t>(rec.op)];
+        if (rec.op == OpClass::CondBranch) {
+            ++s.condBranches;
+            if (rec.taken)
+                ++s.takenCondBranches;
+        }
+        code_lines.insert(rec.pc >> lineShift);
+        if (rec.isMem())
+            data_lines.insert(rec.dataAddr >> lineShift);
+        if (have_prev && (rec.pc >> lineShift) != (prev.pc >> lineShift)) {
+            FetchTransition t = prev.transitionType();
+            ++s.lineTransitions[static_cast<std::size_t>(t)];
+        }
+        prev = rec;
+        have_prev = true;
+    }
+    s.codeLinesTouched = code_lines.size();
+    s.dataLinesTouched = data_lines.size();
+    return s;
+}
+
+} // namespace ipref

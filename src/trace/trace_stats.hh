@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Trace summarizer: instruction mix, CTI/transition breakdown, and
+ * footprint estimates for a TraceSource.
+ */
+
+#ifndef IPREF_TRACE_TRACE_STATS_HH
+#define IPREF_TRACE_TRACE_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+
+#include "trace/record.hh"
+#include "trace/trace_source.hh"
+
+namespace ipref
+{
+
+/** Aggregate statistics of an instruction stream. */
+struct TraceSummary
+{
+    std::uint64_t instructions = 0;
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(OpClass::NumOpClasses)> opCounts{};
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(FetchTransition::NumTransitions)>
+        lineTransitions{}; //!< transitions into a *new* 64B line
+    std::uint64_t takenCondBranches = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t codeLinesTouched = 0;  //!< unique 64B code lines
+    std::uint64_t dataLinesTouched = 0;  //!< unique 64B data lines
+
+    /** Fraction of instructions of class @p op. */
+    double opFraction(OpClass op) const;
+
+    /** Fraction of line transitions that are non-sequential. */
+    double discontinuityFraction() const;
+
+    /** Pretty-print the summary. */
+    void print(std::ostream &os) const;
+};
+
+/**
+ * Consume up to @p maxInstrs records from @p src and summarize them.
+ * Uses 64-byte lines for transition/footprint accounting.
+ */
+TraceSummary summarizeTrace(TraceSource &src,
+                            std::uint64_t maxInstrs = ~std::uint64_t{0});
+
+} // namespace ipref
+
+#endif // IPREF_TRACE_TRACE_STATS_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the cache and
+ * predictor models.
+ */
+
+#ifndef IPREF_UTIL_BITUTIL_HH
+#define IPREF_UTIL_BITUTIL_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace ipref
+{
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)); @p v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Round @p v down to a multiple of power-of-two @p align. */
+constexpr Addr
+alignDown(Addr v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of power-of-two @p align. */
+constexpr Addr
+alignUp(Addr v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Extract bits [lo, hi] (inclusive) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & ((std::uint64_t{1} << (hi - lo + 1)) - 1);
+}
+
+} // namespace ipref
+
+#endif // IPREF_UTIL_BITUTIL_HH

@@ -1,0 +1,58 @@
+#include "util/histogram.hh"
+
+#include <algorithm>
+
+#include "util/bitutil.hh"
+
+namespace ipref
+{
+
+void
+Log2Histogram::add(std::uint64_t value)
+{
+    unsigned idx = value <= 1 ? 0 : ceilLog2(value);
+    idx = std::min<unsigned>(idx, buckets_.size() - 1);
+    ++buckets_[idx];
+    ++count_;
+    sum_ += value;
+    max_ = std::max(max_, value);
+}
+
+std::uint64_t
+Log2Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen > target)
+            return i == 0 ? 1 : (std::uint64_t{1} << i);
+    }
+    return max_;
+}
+
+void
+Log2Histogram::print(std::ostream &os, const std::string &label) const
+{
+    os << label << ": n=" << count_ << " mean=" << mean()
+       << " max=" << max_ << "\n";
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        std::uint64_t lo = i == 0 ? 0 : (std::uint64_t{1} << (i - 1)) + 1;
+        std::uint64_t hi = std::uint64_t{1} << i;
+        os << "  [" << lo << ", " << hi << "]: " << buckets_[i] << "\n";
+    }
+}
+
+void
+Log2Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = sum_ = max_ = 0;
+}
+
+} // namespace ipref

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fixed-bucket and power-of-two histograms for latency and distance
+ * distributions.
+ */
+
+#ifndef IPREF_UTIL_HISTOGRAM_HH
+#define IPREF_UTIL_HISTOGRAM_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ipref
+{
+
+/**
+ * Histogram with logarithmic (power-of-two) buckets: bucket i counts
+ * samples in [2^(i-1), 2^i), bucket 0 counts zeros and ones.
+ */
+class Log2Histogram
+{
+  public:
+    explicit Log2Histogram(unsigned num_buckets = 32)
+        : buckets_(num_buckets, 0)
+    {}
+
+    /** Record one sample. */
+    void add(std::uint64_t value);
+
+    /** Samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of all samples. */
+    std::uint64_t sum() const { return sum_; }
+
+    /** Arithmetic mean (0 if empty). */
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+    }
+
+    /** Largest sample seen. */
+    std::uint64_t max() const { return max_; }
+
+    /** Bucket counts (index = ceil(log2) class). */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    /** Approximate p-quantile from bucket boundaries. */
+    std::uint64_t quantile(double q) const;
+
+    /** Pretty-print non-empty buckets. */
+    void print(std::ostream &os, const std::string &label) const;
+
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace ipref
+
+#endif // IPREF_UTIL_HISTOGRAM_HH

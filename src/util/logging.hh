@@ -1,0 +1,65 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic() is for internal invariant violations (simulator bugs) and
+ * aborts; fatal() is for user-induced unrecoverable conditions (bad
+ * configuration) and exits cleanly with an error code.
+ */
+
+#ifndef IPREF_UTIL_LOGGING_HH
+#define IPREF_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ipref
+{
+
+/** Verbosity control for inform(); warnings are always printed. */
+enum class LogLevel { Quiet, Normal, Verbose };
+
+/** Get/set the process-wide log level (defaults to Normal). */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+namespace detail
+{
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+} // namespace detail
+
+/** Abort with a message: something that should never happen did. */
+#define ipref_panic(...)                                                      \
+    ::ipref::detail::panicImpl(__FILE__, __LINE__,                            \
+        ::ipref::detail::formatMessage(__VA_ARGS__))
+
+/** Exit with a message: the user asked for something unsupportable. */
+#define ipref_fatal(...)                                                      \
+    ::ipref::detail::fatalImpl(__FILE__, __LINE__,                            \
+        ::ipref::detail::formatMessage(__VA_ARGS__))
+
+/** Print a warning (always shown). */
+#define ipref_warn(...)                                                       \
+    ::ipref::detail::warnImpl(::ipref::detail::formatMessage(__VA_ARGS__))
+
+/** Print an informational message (suppressed when quiet). */
+#define ipref_inform(...)                                                     \
+    ::ipref::detail::informImpl(::ipref::detail::formatMessage(__VA_ARGS__))
+
+/** Check an invariant; panics with the condition text on failure. */
+#define ipref_assert(cond)                                                    \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ipref_panic("assertion failed: %s", #cond);                       \
+        }                                                                     \
+    } while (0)
+
+} // namespace ipref
+
+#endif // IPREF_UTIL_LOGGING_HH

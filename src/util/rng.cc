@@ -1,0 +1,33 @@
+#include "util/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipref
+{
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha)
+{
+    ipref_assert(n > 0);
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+        cdf_[i] = sum;
+    }
+    for (auto &v : cdf_)
+        v /= sum;
+    cdf_.back() = 1.0;
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        --it;
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+} // namespace ipref

@@ -1,0 +1,29 @@
+#include "util/stats.hh"
+
+#include <iomanip>
+
+namespace ipref
+{
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string full = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &c : counters_) {
+        os << full << "." << c.name << " " << c.counter->value();
+        if (!c.desc.empty())
+            os << "  # " << c.desc;
+        os << "\n";
+    }
+    for (const auto &f : formulas_) {
+        os << full << "." << f.name << " " << std::setprecision(6)
+           << f.fn();
+        if (!f.desc.empty())
+            os << "  # " << f.desc;
+        os << "\n";
+    }
+    for (const auto *child : children_)
+        child->dump(os, full);
+}
+
+} // namespace ipref

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minimal statistics package: named scalar counters and derived
+ * formulas collected into groups, with text dump support.
+ *
+ * Modeled (loosely) on gem5's stats: a component owns a StatGroup,
+ * registers counters at construction, and the simulation driver dumps
+ * everything at the end of a run.
+ */
+
+#ifndef IPREF_UTIL_STATS_HH
+#define IPREF_UTIL_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ipref
+{
+
+/** A single monotonically increasing counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(std::uint64_t n) { value_ += n; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A named collection of counters and derived values.
+ *
+ * Groups can nest; dump() prints "prefix.name value" lines.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under @p name; the counter must outlive us. */
+    void
+    addCounter(std::string name, const Counter *c, std::string desc = "")
+    {
+        counters_.push_back({std::move(name), c, std::move(desc)});
+    }
+
+    /** Register a derived value computed at dump time. */
+    void
+    addFormula(std::string name, std::function<double()> fn,
+               std::string desc = "")
+    {
+        formulas_.push_back({std::move(name), std::move(fn),
+                             std::move(desc)});
+    }
+
+    /** Attach a child group (not owned). */
+    void addChild(const StatGroup *child) { children_.push_back(child); }
+
+    /** Print all stats as "prefix.name  value  # desc" lines. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct NamedCounter
+    {
+        std::string name;
+        const Counter *counter;
+        std::string desc;
+    };
+    struct NamedFormula
+    {
+        std::string name;
+        std::function<double()> fn;
+        std::string desc;
+    };
+
+    std::string name_;
+    std::vector<NamedCounter> counters_;
+    std::vector<NamedFormula> formulas_;
+    std::vector<const StatGroup *> children_;
+};
+
+} // namespace ipref
+
+#endif // IPREF_UTIL_STATS_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII table formatter used by the benchmark harness to print
+ * paper-figure-style tables, with optional CSV output.
+ */
+
+#ifndef IPREF_UTIL_TABLE_HH
+#define IPREF_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ipref
+{
+
+/**
+ * A simple row/column table. First row added is the header.
+ * Cells are strings; numeric helpers format with fixed precision.
+ */
+class Table
+{
+  public:
+    explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row (must match header width). */
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format a ratio as a percentage string ("12.3%"). */
+    static std::string pct(double v, int precision = 1);
+
+    /** Print aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Print comma-separated values (header + rows). */
+    void printCsv(std::ostream &os) const;
+
+    const std::string &title() const { return title_; }
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ipref
+
+#endif // IPREF_UTIL_TABLE_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem.
+ */
+
+#ifndef IPREF_UTIL_TYPES_HH
+#define IPREF_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace ipref
+{
+
+/** A byte address in the simulated (flat, virtual == physical) space. */
+using Addr = std::uint64_t;
+
+/** A cache-line-granular address (byte address >> log2(line size)). */
+using LineAddr = std::uint64_t;
+
+/** A simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a core within a chip (0-based). */
+using CoreId = std::uint32_t;
+
+/** An invalid/unset address sentinel. */
+inline constexpr Addr invalidAddr = ~std::uint64_t{0};
+
+/** An invalid/unset cycle sentinel (used for "never"). */
+inline constexpr Cycle neverCycle = ~std::uint64_t{0};
+
+} // namespace ipref
+
+#endif // IPREF_UTIL_TYPES_HH

@@ -1,0 +1,191 @@
+#include "workload/presets.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace ipref
+{
+
+const std::vector<WorkloadKind> &
+allWorkloadKinds()
+{
+    static const std::vector<WorkloadKind> kinds = {
+        WorkloadKind::DB, WorkloadKind::TPCW, WorkloadKind::JAPP,
+        WorkloadKind::WEB};
+    return kinds;
+}
+
+const char *
+workloadName(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::DB: return "DB";
+      case WorkloadKind::TPCW: return "TPC-W";
+      case WorkloadKind::JAPP: return "jApp";
+      case WorkloadKind::WEB: return "Web";
+      default: return "?";
+    }
+}
+
+WorkloadKind
+parseWorkloadKind(const std::string &name)
+{
+    std::string s;
+    for (char c : name)
+        if (c != '-' && c != '_')
+            s.push_back(static_cast<char>(std::tolower(
+                static_cast<unsigned char>(c))));
+    if (s == "db" || s == "database")
+        return WorkloadKind::DB;
+    if (s == "tpcw")
+        return WorkloadKind::TPCW;
+    if (s == "japp" || s == "jappserver" || s == "specjappserver")
+        return WorkloadKind::JAPP;
+    if (s == "web" || s == "specweb" || s == "specweb99")
+        return WorkloadKind::WEB;
+    ipref_fatal("unknown workload '%s' (want db|tpcw|japp|web)",
+                name.c_str());
+}
+
+WorkloadConfig
+presetConfig(WorkloadKind kind)
+{
+    WorkloadConfig c;
+    switch (kind) {
+      case WorkloadKind::DB:
+        // OLTP database: large code footprint, deep call chains,
+        // big data working set with strong reuse skew.
+        c.name = "DB";
+        c.layoutSeed = 0xDB01;
+        c.codeBase = 0x0000000010000000ULL;
+        c.dataBase = 0x0000001000000000ULL;
+        c.codeFootprintBytes = 3u << 20;
+        c.callLayers = 7;
+        c.callFraction = 0.25;
+        c.indirectCallFraction = 0.02;
+        c.condBranchFraction = 0.38;
+        c.calleeZipfAlpha = 0.66;
+        c.transactionZipfAlpha = 0.46;
+        c.loopBackFraction = 0.13;
+        c.meanLoopTrips = 5.0;
+        c.concurrentContexts = 3;
+        c.contextSwitchPeriod = 2600;
+        c.hotDataBytes = 16u << 20;
+        c.hotDataZipfAlpha = 1.28;
+        c.warmDataBytes = 128u << 10;
+        c.coldDataBytes = 48u << 20;
+        c.hotAccessFraction = 0.88;
+        c.warmAccessFraction = 0.0;
+        c.loadFraction = 0.25;
+        c.storeFraction = 0.12;
+        break;
+      case WorkloadKind::TPCW:
+        // Transactional web server: moderate footprint, fewer layers.
+        c.name = "TPC-W";
+        c.layoutSeed = 0x79C3;
+        c.codeBase = 0x0000000050000000ULL;
+        c.dataBase = 0x0000001400000000ULL;
+        c.codeFootprintBytes = 2560u << 10;
+        c.callLayers = 6;
+        c.callFraction = 0.20;
+        c.indirectCallFraction = 0.03;
+        c.calleeZipfAlpha = 0.88;
+        c.transactionZipfAlpha = 0.45;
+        c.loopBackFraction = 0.22;
+        c.meanLoopTrips = 4.0;
+        c.concurrentContexts = 4;
+        c.contextSwitchPeriod = 1400;
+        c.hotDataBytes = 16u << 20;
+        c.hotDataZipfAlpha = 1.31;
+        c.warmDataBytes = 96u << 10;
+        c.coldDataBytes = 24u << 20;
+        c.hotAccessFraction = 0.88;
+        c.warmAccessFraction = 0.0;
+        break;
+      case WorkloadKind::JAPP:
+        // Java application server: the largest footprint, very small
+        // methods, many (virtual) calls, flat function popularity.
+        c.name = "jApp";
+        c.layoutSeed = 0x3A99;
+        c.codeBase = 0x0000000090000000ULL;
+        c.dataBase = 0x0000001800000000ULL;
+        c.codeFootprintBytes = 4u << 20;
+        c.callLayers = 8;
+        c.rootFraction = 0.05;
+        c.blockCountP = 0.18;      // fewer blocks per method
+        c.blockSizeP = 0.22;       // shorter blocks
+        c.callFraction = 0.25;
+        c.indirectCallFraction = 0.06; // virtual dispatch
+        c.condBranchFraction = 0.34;
+        c.calleeZipfAlpha = 0.90;
+        c.transactionZipfAlpha = 0.48;
+        c.loopBackFraction = 0.11;
+        c.meanLoopTrips = 3.5;
+        c.concurrentContexts = 4;
+        c.contextSwitchPeriod = 1500;
+        c.hotDataBytes = 16u << 20;
+        c.hotDataZipfAlpha = 1.26;
+        c.warmDataBytes = 128u << 10;
+        c.coldDataBytes = 32u << 20;
+        c.hotAccessFraction = 0.88;
+        c.warmAccessFraction = 0.0;
+        c.loadFraction = 0.26;
+        break;
+      case WorkloadKind::WEB:
+        // SPECweb99: smaller, hotter code; lighter data reuse skew.
+        c.name = "Web";
+        c.layoutSeed = 0x3EB9;
+        c.codeBase = 0x00000000D0000000ULL;
+        c.dataBase = 0x0000001C00000000ULL;
+        c.codeFootprintBytes = 1280u << 10;
+        c.callLayers = 5;
+        c.callFraction = 0.24;
+        c.indirectCallFraction = 0.02;
+        c.calleeZipfAlpha = 0.72;
+        c.transactionZipfAlpha = 0.60;
+        c.loopBackFraction = 0.15;
+        c.concurrentContexts = 3;
+        c.contextSwitchPeriod = 2200;
+        c.hotDataBytes = 16u << 20;
+        c.hotDataZipfAlpha = 1.35;
+        c.warmDataBytes = 64u << 10;
+        c.coldDataBytes = 40u << 20;
+        c.hotAccessFraction = 0.88;
+        c.warmAccessFraction = 0.0;
+        c.loadFraction = 0.22;
+        c.storeFraction = 0.09;
+        break;
+      default:
+        ipref_fatal("bad workload kind");
+    }
+    return c;
+}
+
+std::shared_ptr<const ProgramCfg>
+buildProgram(WorkloadKind kind)
+{
+    static std::map<WorkloadKind, std::shared_ptr<const ProgramCfg>>
+        cache;
+    auto it = cache.find(kind);
+    if (it != cache.end())
+        return it->second;
+    auto prog = std::make_shared<const ProgramCfg>(presetConfig(kind));
+    cache[kind] = prog;
+    return prog;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(WorkloadKind kind, CoreId core, std::uint64_t baseSeed)
+{
+    auto prog = buildProgram(kind);
+    std::uint64_t walk_seed =
+        baseSeed * 0x9e3779b97f4a7c15ULL + core * 0x100000001b3ULL +
+        static_cast<std::uint64_t>(kind);
+    Addr data_offset = static_cast<Addr>(core) << 28; // 256 MB apart
+    return std::make_unique<Workload>(prog, walk_seed, data_offset);
+}
+
+} // namespace ipref

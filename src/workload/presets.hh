@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Workload presets standing in for the paper's four commercial
+ * applications, plus helpers to instantiate per-core walkers.
+ */
+
+#ifndef IPREF_WORKLOAD_PRESETS_HH
+#define IPREF_WORKLOAD_PRESETS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace ipref
+{
+
+/** The four commercial applications studied by the paper. */
+enum class WorkloadKind
+{
+    DB,   //!< OLTP database workload
+    TPCW, //!< TPC-W transactional web benchmark
+    JAPP, //!< SPECjAppServer2002 (Java middleware)
+    WEB,  //!< SPECweb99 (static/dynamic web serving)
+    NumKinds
+};
+
+/** All four kinds, in the paper's presentation order. */
+const std::vector<WorkloadKind> &allWorkloadKinds();
+
+/** Display name matching the paper's figures ("DB", "TPC-W", ...). */
+const char *workloadName(WorkloadKind kind);
+
+/** Parse a name (case-insensitive: "db", "tpcw", "tpc-w", ...). */
+WorkloadKind parseWorkloadKind(const std::string &name);
+
+/** The tuned generator configuration for @p kind. */
+WorkloadConfig presetConfig(WorkloadKind kind);
+
+/**
+ * Build (and memoize) the static program for @p kind. All callers
+ * share one immutable ProgramCfg per kind, like processes sharing a
+ * binary's text segment.
+ */
+std::shared_ptr<const ProgramCfg> buildProgram(WorkloadKind kind);
+
+/**
+ * Create a walker of @p kind for core @p core. Cores running the same
+ * kind share code (same ProgramCfg) but get disjoint data segments and
+ * distinct walk seeds derived from @p baseSeed.
+ */
+std::unique_ptr<Workload> makeWorkload(WorkloadKind kind, CoreId core,
+                                       std::uint64_t baseSeed = 1);
+
+} // namespace ipref
+
+#endif // IPREF_WORKLOAD_PRESETS_HH

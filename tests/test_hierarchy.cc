@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Tests for the cache hierarchy: fill paths, in-flight merging,
+ * miss categorization, the ideal-elimination filter and the
+ * selective-L2-install (bypass) policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "util/rng.hh"
+
+using namespace ipref;
+
+namespace
+{
+
+HierarchyParams
+timingParams(unsigned cores = 1, bool bypass = false)
+{
+    HierarchyParams p;
+    p.numCores = cores;
+    p.prefetchBypassL2 = bypass;
+    return p;
+}
+
+HierarchyParams
+functionalParams(unsigned cores = 1, bool bypass = false)
+{
+    HierarchyParams p = timingParams(cores, bypass);
+    p.makeFunctional();
+    return p;
+}
+
+constexpr Addr codeA = 0x10000000;
+constexpr Addr codeB = 0x10010000;
+constexpr Addr dataA = 0x2000000000;
+
+/** Records eviction callbacks. */
+struct Listener : public PrefetchEvictionListener
+{
+    struct Event
+    {
+        CoreId core;
+        Addr line;
+        bool used;
+    };
+    std::vector<Event> events;
+
+    void
+    prefetchedLineEvicted(CoreId core, Addr line, bool used) override
+    {
+        events.push_back({core, line, used});
+    }
+};
+
+} // namespace
+
+TEST(Hierarchy, FetchMissLatencies)
+{
+    CacheHierarchy h(timingParams());
+    // Cold miss goes to memory: 400 cycles.
+    FetchResult r =
+        h.fetchAccess(0, codeA, FetchTransition::Sequential, 0);
+    EXPECT_TRUE(r.l1Miss);
+    EXPECT_TRUE(r.l2Miss);
+    EXPECT_EQ(r.ready, 400u);
+    // After the fill, an access hits in the L1I with 4-cycle latency.
+    r = h.fetchAccess(0, codeA, FetchTransition::Sequential, 1000);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_EQ(r.ready, 1004u);
+}
+
+TEST(Hierarchy, L2HitPath)
+{
+    CacheHierarchy h(timingParams());
+    h.fetchAccess(0, codeA, FetchTransition::Sequential, 0);
+    // Evict codeA from the tiny... actually invalidate L1I directly.
+    h.drainAll();
+    h.l1i(0).invalidate(codeA);
+    FetchResult r =
+        h.fetchAccess(0, codeA, FetchTransition::Sequential, 1000);
+    EXPECT_TRUE(r.l1Miss);
+    EXPECT_FALSE(r.l2Miss);
+    EXPECT_EQ(r.ready, 1025u);
+}
+
+TEST(Hierarchy, DemandMergesWithInflightPrefetch)
+{
+    CacheHierarchy h(timingParams());
+    PrefetchResult pr = h.prefetchRequest(0, codeA, 0);
+    EXPECT_EQ(pr.outcome, PrefetchOutcome::Issued);
+    EXPECT_TRUE(pr.fromMemory);
+    // Demand arrives at cycle 100: late prefetch hit, residual wait.
+    FetchResult r =
+        h.fetchAccess(0, codeA, FetchTransition::Sequential, 100);
+    EXPECT_TRUE(r.latePrefetchHit);
+    EXPECT_FALSE(r.l1Miss);
+    EXPECT_EQ(r.ready, pr.ready);
+    EXPECT_EQ(h.l1iLateHits.value(), 1u);
+}
+
+TEST(Hierarchy, PrefetchFirstUseDetected)
+{
+    CacheHierarchy h(functionalParams());
+    h.prefetchRequest(0, codeA, 0);
+    FetchResult r =
+        h.fetchAccess(0, codeA, FetchTransition::Sequential, 1);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_TRUE(r.firstUseOfPrefetch);
+    EXPECT_EQ(h.l1iFirstUseHits.value(), 1u);
+    r = h.fetchAccess(0, codeA, FetchTransition::Sequential, 2);
+    EXPECT_FALSE(r.firstUseOfPrefetch);
+}
+
+TEST(Hierarchy, PrefetchDroppedWhenPresent)
+{
+    CacheHierarchy h(functionalParams());
+    h.fetchAccess(0, codeA, FetchTransition::Sequential, 0);
+    PrefetchResult pr = h.prefetchRequest(0, codeA, 1);
+    EXPECT_EQ(pr.outcome, PrefetchOutcome::DroppedPresent);
+}
+
+TEST(Hierarchy, PrefetchDroppedWhenInFlight)
+{
+    CacheHierarchy h(timingParams());
+    h.prefetchRequest(0, codeA, 0);
+    PrefetchResult pr = h.prefetchRequest(0, codeA, 1);
+    EXPECT_EQ(pr.outcome, PrefetchOutcome::DroppedInFlight);
+}
+
+TEST(Hierarchy, CrossCoreMerge)
+{
+    CacheHierarchy h(timingParams(2));
+    h.fetchAccess(0, codeA, FetchTransition::Sequential, 0);
+    FetchResult r =
+        h.fetchAccess(1, codeA, FetchTransition::Sequential, 10);
+    // Core 1 misses but merges with core 0's in-flight demand fill.
+    EXPECT_TRUE(r.l1Miss);
+    EXPECT_FALSE(r.l2Miss);
+    EXPECT_EQ(r.ready, 400u);
+    // Both L1Is receive the line.
+    h.drainAll();
+    EXPECT_TRUE(h.l1i(0).probe(codeA));
+    EXPECT_TRUE(h.l1i(1).probe(codeA));
+}
+
+TEST(Hierarchy, MissCategorization)
+{
+    CacheHierarchy h(functionalParams());
+    h.fetchAccess(0, codeA, FetchTransition::Sequential, 0);
+    h.fetchAccess(0, codeB, FetchTransition::Call, 1);
+    h.fetchAccess(0, codeB + 64, FetchTransition::CondTakenFwd, 2);
+    EXPECT_EQ(h.l1iMissByTransition[static_cast<std::size_t>(
+                                        FetchTransition::Sequential)]
+                  .value(),
+              1u);
+    EXPECT_EQ(h.l1iMissByTransition[static_cast<std::size_t>(
+                                        FetchTransition::Call)]
+                  .value(),
+              1u);
+    EXPECT_EQ(
+        h.l1iMissByTransition[static_cast<std::size_t>(
+                                  FetchTransition::CondTakenFwd)]
+            .value(),
+        1u);
+}
+
+TEST(Hierarchy, IdealEliminationFilter)
+{
+    HierarchyParams p = functionalParams();
+    p.idealEliminate[static_cast<std::size_t>(MissGroup::Function)] =
+        true;
+    CacheHierarchy h(p);
+    FetchResult r = h.fetchAccess(0, codeA, FetchTransition::Call, 0);
+    EXPECT_TRUE(r.eliminated);
+    EXPECT_FALSE(r.l1Miss);
+    EXPECT_EQ(h.l1iEliminated.value(), 1u);
+    EXPECT_EQ(h.l1iMisses.value(), 0u);
+    // Non-eliminated categories still miss.
+    r = h.fetchAccess(0, codeB, FetchTransition::Sequential, 1);
+    EXPECT_TRUE(r.l1Miss);
+    // Eliminated lines are NOT installed: next access repeats.
+    r = h.fetchAccess(0, codeA, FetchTransition::Call, 2);
+    EXPECT_TRUE(r.eliminated);
+}
+
+TEST(Hierarchy, DataPathAndWriteback)
+{
+    CacheHierarchy h(functionalParams());
+    DataResult d = h.dataAccess(0, dataA, true, 0);
+    EXPECT_FALSE(d.l1Hit);
+    EXPECT_TRUE(d.l2Miss);
+    d = h.dataAccess(0, dataA, false, 1);
+    EXPECT_TRUE(d.l1Hit);
+    EXPECT_TRUE(h.l1d(0).lookup(dataA).dirty);
+
+    // Conflict-evict the dirty line: it must be written to the L2.
+    std::uint64_t sets =
+        h.l1d(0).params().numSets();
+    unsigned assoc = h.l1d(0).params().assoc;
+    for (unsigned i = 1; i <= assoc; ++i)
+        h.dataAccess(0, dataA + i * sets * 64, false, 10 + i);
+    h.drainAll();
+    EXPECT_FALSE(h.l1d(0).probe(dataA));
+    EXPECT_TRUE(h.l2().lookup(dataA).dirty);
+}
+
+TEST(Hierarchy, BypassUnusedPrefetchNeverEntersL2)
+{
+    CacheHierarchy h(functionalParams(1, /*bypass=*/true));
+    h.prefetchRequest(0, codeA, 0);
+    h.fetchAccess(0, codeB, FetchTransition::Sequential, 1);
+    EXPECT_TRUE(h.l1i(0).probe(codeA));
+    EXPECT_FALSE(h.l2().probe(codeA)); // bypassed
+
+    // Conflict-evict codeA unused from the L1I.
+    std::uint64_t sets = h.l1i(0).params().numSets();
+    unsigned assoc = h.l1i(0).params().assoc;
+    for (unsigned i = 1; i <= assoc; ++i)
+        h.fetchAccess(0, codeA + i * sets * 64,
+                      FetchTransition::Sequential, 10 + i);
+    h.drainAll();
+    EXPECT_FALSE(h.l1i(0).probe(codeA));
+    EXPECT_FALSE(h.l2().probe(codeA)); // dropped entirely
+    EXPECT_EQ(h.bypassDrops.value(), 1u);
+    EXPECT_EQ(h.bypassInstalls.value(), 0u);
+}
+
+TEST(Hierarchy, BypassUsedPrefetchInstalledOnEvict)
+{
+    CacheHierarchy h(functionalParams(1, /*bypass=*/true));
+    h.prefetchRequest(0, codeA, 0);
+    FetchResult r =
+        h.fetchAccess(0, codeA, FetchTransition::Sequential, 1);
+    EXPECT_TRUE(r.firstUseOfPrefetch); // proven useful
+    EXPECT_FALSE(h.l2().probe(codeA)); // still not in L2
+
+    std::uint64_t sets = h.l1i(0).params().numSets();
+    unsigned assoc = h.l1i(0).params().assoc;
+    for (unsigned i = 1; i <= assoc; ++i)
+        h.fetchAccess(0, codeA + i * sets * 64,
+                      FetchTransition::Sequential, 10 + i);
+    h.drainAll();
+    EXPECT_FALSE(h.l1i(0).probe(codeA));
+    EXPECT_TRUE(h.l2().probe(codeA)); // installed on eviction
+    EXPECT_EQ(h.bypassInstalls.value(), 1u);
+}
+
+TEST(Hierarchy, BypassDemandMergedPrefetchInstallsL2)
+{
+    CacheHierarchy h(timingParams(1, /*bypass=*/true));
+    h.prefetchRequest(0, codeA, 0);
+    FetchResult r =
+        h.fetchAccess(0, codeA, FetchTransition::Sequential, 10);
+    EXPECT_TRUE(r.latePrefetchHit);
+    h.drainAll();
+    // Proven useful while in flight: goes to L2 like a demand fill.
+    EXPECT_TRUE(h.l2().probe(codeA));
+}
+
+TEST(Hierarchy, NoBypassPrefetchInstallsL2Immediately)
+{
+    CacheHierarchy h(functionalParams(1, /*bypass=*/false));
+    h.prefetchRequest(0, codeA, 0);
+    h.fetchAccess(0, codeB, FetchTransition::Sequential, 1);
+    EXPECT_TRUE(h.l2().probe(codeA)); // pollution path
+}
+
+TEST(Hierarchy, EvictionListenerFires)
+{
+    CacheHierarchy h(functionalParams());
+    Listener listener;
+    h.setEvictionListener(0, &listener);
+    h.prefetchRequest(0, codeA, 0);
+    h.fetchAccess(0, codeB, FetchTransition::Sequential, 1);
+    std::uint64_t sets = h.l1i(0).params().numSets();
+    unsigned assoc = h.l1i(0).params().assoc;
+    for (unsigned i = 1; i <= assoc; ++i)
+        h.fetchAccess(0, codeA + i * sets * 64,
+                      FetchTransition::Sequential, 10 + i);
+    h.drainAll();
+    ASSERT_EQ(listener.events.size(), 1u);
+    EXPECT_EQ(listener.events[0].line, codeA);
+    EXPECT_FALSE(listener.events[0].used);
+    EXPECT_EQ(listener.events[0].core, 0u);
+}
+
+TEST(Hierarchy, UniformReuseConvergesToCompulsoryMisses)
+{
+    // 128KB of uniformly reused data: after first touch, everything
+    // must live in the 2MB L2 (only 2048 compulsory misses).
+    CacheHierarchy h(functionalParams());
+    Rng rng(42);
+    for (int i = 0; i < 200000; ++i)
+        h.dataAccess(0, dataA + rng.below(2048) * 64, false, i);
+    EXPECT_EQ(h.l2dMisses.value(), 2048u);
+}
+
+TEST(Hierarchy, MismatchedLineSizesAreFatal)
+{
+    HierarchyParams p = timingParams();
+    p.l1i.lineBytes = 32;
+    EXPECT_EXIT(CacheHierarchy{p}, ::testing::ExitedWithCode(1),
+                "uniform line size");
+}
+
+TEST(Hierarchy, SharedL2SeenByAllCores)
+{
+    CacheHierarchy h(functionalParams(4));
+    h.fetchAccess(0, codeA, FetchTransition::Sequential, 0);
+    h.fetchAccess(1, codeA, FetchTransition::Sequential, 1);
+    // Core 1 missed its private L1I but hit the shared L2.
+    EXPECT_EQ(h.l1iMisses.value(), 2u);
+    EXPECT_EQ(h.l2iMisses.value(), 1u);
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the bandwidth-limited, demand-priority memory channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/memory.hh"
+
+using namespace ipref;
+
+namespace
+{
+
+MemoryParams
+params(double gbps = 20.0, Cycle lat = 400)
+{
+    MemoryParams p;
+    p.gbPerSec = gbps;
+    p.latency = lat;
+    return p;
+}
+
+} // namespace
+
+TEST(Memory, FixedLatencyWhenIdle)
+{
+    MemoryChannel m(params());
+    EXPECT_EQ(m.read(100, false), 500u);
+}
+
+TEST(Memory, FunctionalModeIsInstant)
+{
+    MemoryChannel m(params(20.0, 0));
+    EXPECT_TRUE(m.functional());
+    EXPECT_EQ(m.read(42, false), 42u);
+    EXPECT_EQ(m.read(42, true), 42u);
+}
+
+TEST(Memory, OccupancyMath)
+{
+    MemoryParams p = params(20.0);
+    // 20 GB/s at 3 GHz = 6.67 B/cycle; 64B line = 9.6 cycles.
+    EXPECT_NEAR(p.bytesPerCycle(), 6.667, 0.01);
+    EXPECT_NEAR(p.lineOccupancy(), 9.6, 0.01);
+}
+
+TEST(Memory, BackToBackDemandQueues)
+{
+    MemoryChannel m(params());
+    Cycle first = m.read(0, false);
+    Cycle second = m.read(0, false);
+    EXPECT_EQ(first, 400u);
+    // second starts after the first transfer's occupancy (9.6 cyc)
+    EXPECT_GE(second, 409u);
+    EXPECT_GT(m.queueDelayCycles.value(), 0u);
+}
+
+TEST(Memory, PrefetchBacklogDoesNotDelayDemand)
+{
+    MemoryChannel m(params());
+    for (int i = 0; i < 50; ++i)
+        m.read(0, true); // huge prefetch backlog
+    Cycle demand = m.read(0, false);
+    EXPECT_EQ(demand, 400u); // demand sees only demand traffic
+}
+
+TEST(Memory, DemandPushesPrefetchesBack)
+{
+    MemoryChannel m(params());
+    m.read(0, false);
+    Cycle pf = m.read(0, true);
+    EXPECT_GE(pf, 409u); // queued behind the demand transfer
+}
+
+TEST(Memory, PrefetchesQueueBehindEachOther)
+{
+    MemoryChannel m(params());
+    Cycle p1 = m.read(0, true);
+    Cycle p2 = m.read(0, true);
+    EXPECT_EQ(p1, 400u);
+    EXPECT_GE(p2, 409u);
+}
+
+TEST(Memory, IdleChannelRecovers)
+{
+    MemoryChannel m(params());
+    m.read(0, false);
+    // After the channel drains, a later request sees no queueing.
+    EXPECT_EQ(m.read(1000, false), 1400u);
+}
+
+TEST(Memory, WritesConsumeBandwidth)
+{
+    MemoryChannel m(params());
+    for (int i = 0; i < 10; ++i)
+        m.write(0);
+    Cycle pf = m.read(0, true);
+    EXPECT_GE(pf, 400u + 90u); // behind ~10 write occupancies
+    EXPECT_EQ(m.writes.value(), 10u);
+}
+
+TEST(Memory, Counters)
+{
+    MemoryChannel m(params());
+    m.read(0, false);
+    m.read(0, true);
+    m.write(0);
+    EXPECT_EQ(m.reads.value(), 2u);
+    EXPECT_EQ(m.prefetchReads.value(), 1u);
+    EXPECT_EQ(m.writes.value(), 1u);
+    EXPECT_EQ(m.bytesTransferred(), 3u * 64);
+}
+
+TEST(Memory, LowerBandwidthQueuesMore)
+{
+    MemoryChannel fast(params(20.0));
+    MemoryChannel slow(params(10.0));
+    Cycle f = 0, s = 0;
+    for (int i = 0; i < 20; ++i) {
+        f = fast.read(0, false);
+        s = slow.read(0, false);
+    }
+    EXPECT_GT(s, f);
+}

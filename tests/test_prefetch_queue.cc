@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the prefetch queue (Section 4.1 semantics) and the
+ * recent-demand-fetch filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/fetch_history.hh"
+#include "prefetch/prefetch_queue.hh"
+
+using namespace ipref;
+
+namespace
+{
+
+PrefetchCandidate
+cand(Addr line)
+{
+    PrefetchCandidate c;
+    c.lineAddr = line;
+    return c;
+}
+
+} // namespace
+
+TEST(Queue, LifoOrder)
+{
+    PrefetchQueue q(8);
+    q.push(cand(0x100));
+    q.push(cand(0x200));
+    q.push(cand(0x300));
+    EXPECT_EQ(q.popForIssue()->lineAddr, 0x300u);
+    EXPECT_EQ(q.popForIssue()->lineAddr, 0x200u);
+    EXPECT_EQ(q.popForIssue()->lineAddr, 0x100u);
+    EXPECT_FALSE(q.popForIssue().has_value());
+}
+
+TEST(Queue, DuplicateWaitingIsHoisted)
+{
+    PrefetchQueue q(8);
+    q.push(cand(0x100));
+    q.push(cand(0x200));
+    EXPECT_EQ(q.push(cand(0x100)), PrefetchQueue::PushResult::Hoisted);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.popForIssue()->lineAddr, 0x100u); // hoisted to head
+    EXPECT_EQ(q.hoists.value(), 1u);
+}
+
+TEST(Queue, DuplicateOfIssuedIsDropped)
+{
+    PrefetchQueue q(8);
+    q.push(cand(0x100));
+    q.popForIssue();
+    EXPECT_EQ(q.push(cand(0x100)),
+              PrefetchQueue::PushResult::DroppedIssued);
+    EXPECT_FALSE(q.popForIssue().has_value());
+    EXPECT_EQ(q.duplicateDrops.value(), 1u);
+}
+
+TEST(Queue, DuplicateOfInvalidatedIsDropped)
+{
+    PrefetchQueue q(8);
+    q.push(cand(0x100));
+    q.demandFetched(0x100);
+    EXPECT_EQ(q.push(cand(0x100)),
+              PrefetchQueue::PushResult::DroppedInvalid);
+    EXPECT_FALSE(q.popForIssue().has_value());
+}
+
+TEST(Queue, DemandInvalidatesWaiting)
+{
+    PrefetchQueue q(8);
+    q.push(cand(0x100));
+    q.push(cand(0x200));
+    q.demandFetched(0x100);
+    EXPECT_EQ(q.waiting(), 1u);
+    EXPECT_EQ(q.popForIssue()->lineAddr, 0x200u);
+    EXPECT_FALSE(q.popForIssue().has_value());
+    EXPECT_EQ(q.demandInvalidations.value(), 1u);
+}
+
+TEST(Queue, OverflowDropsOldestWaiting)
+{
+    PrefetchQueue q(3);
+    q.push(cand(0x100));
+    q.push(cand(0x200));
+    q.push(cand(0x300));
+    q.push(cand(0x400)); // 0x100 (oldest) leaves
+    EXPECT_EQ(q.overflowDrops.value(), 1u);
+    EXPECT_EQ(q.popForIssue()->lineAddr, 0x400u);
+    EXPECT_EQ(q.popForIssue()->lineAddr, 0x300u);
+    EXPECT_EQ(q.popForIssue()->lineAddr, 0x200u);
+    EXPECT_FALSE(q.popForIssue().has_value());
+}
+
+TEST(Queue, RecordsReclaimedBeforeWaiting)
+{
+    PrefetchQueue q(3);
+    q.push(cand(0x100));
+    q.popForIssue(); // 0x100 becomes an issued record
+    q.push(cand(0x200));
+    q.push(cand(0x300));
+    // Queue full: 1 record + 2 waiting. The record is reclaimed,
+    // not a waiting prefetch.
+    q.push(cand(0x400));
+    EXPECT_EQ(q.overflowDrops.value(), 0u);
+    EXPECT_EQ(q.waiting(), 3u);
+    // The issued record is gone: a duplicate now inserts fresh
+    // (no suppression record left to drop it).
+    EXPECT_EQ(q.push(cand(0x100)),
+              PrefetchQueue::PushResult::Inserted);
+}
+
+TEST(Queue, RecordSuppressionWindow)
+{
+    PrefetchQueue q(4);
+    q.push(cand(0x100));
+    q.popForIssue();
+    // While the record survives, duplicates are suppressed.
+    EXPECT_EQ(q.push(cand(0x100)),
+              PrefetchQueue::PushResult::DroppedIssued);
+    EXPECT_EQ(q.push(cand(0x100)),
+              PrefetchQueue::PushResult::DroppedIssued);
+}
+
+TEST(Queue, WaitingCount)
+{
+    PrefetchQueue q(8);
+    EXPECT_EQ(q.waiting(), 0u);
+    q.push(cand(0x100));
+    q.push(cand(0x200));
+    EXPECT_EQ(q.waiting(), 2u);
+    q.popForIssue();
+    EXPECT_EQ(q.waiting(), 1u);
+    EXPECT_EQ(q.size(), 2u); // record retained
+}
+
+TEST(History, RemembersRecentFetches)
+{
+    FetchHistory h(4);
+    h.push(0x100);
+    h.push(0x200);
+    EXPECT_TRUE(h.contains(0x100));
+    EXPECT_TRUE(h.contains(0x200));
+    EXPECT_FALSE(h.contains(0x300));
+}
+
+TEST(History, OldEntriesAgeOut)
+{
+    FetchHistory h(4);
+    for (Addr a = 1; a <= 6; ++a)
+        h.push(a * 0x100);
+    EXPECT_FALSE(h.contains(0x100));
+    EXPECT_FALSE(h.contains(0x200));
+    EXPECT_TRUE(h.contains(0x300));
+    EXPECT_TRUE(h.contains(0x600));
+}
+
+TEST(History, Capacity)
+{
+    FetchHistory h(32);
+    EXPECT_EQ(h.capacity(), 32u);
+    EXPECT_FALSE(h.contains(0));
+}

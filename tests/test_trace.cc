@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the trace layer: record semantics, sources, binary file
+ * round-trips and the summarizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/record.hh"
+#include "trace/trace_file.hh"
+#include "trace/trace_source.hh"
+#include "trace/trace_stats.hh"
+
+using namespace ipref;
+
+namespace
+{
+
+InstrRecord
+makeInstr(Addr pc, OpClass op, bool taken = false, Addr target = 0)
+{
+    InstrRecord r;
+    r.pc = pc;
+    r.op = op;
+    r.taken = taken;
+    r.target = target;
+    return r;
+}
+
+} // namespace
+
+TEST(Record, NextPcSequential)
+{
+    InstrRecord r = makeInstr(0x1000, OpClass::IntAlu);
+    EXPECT_FALSE(r.isCti());
+    EXPECT_FALSE(r.redirects());
+    EXPECT_EQ(r.nextPc(), 0x1004u);
+}
+
+TEST(Record, NextPcTakenBranch)
+{
+    InstrRecord r =
+        makeInstr(0x1000, OpClass::CondBranch, true, 0x2000);
+    EXPECT_TRUE(r.isCti());
+    EXPECT_TRUE(r.redirects());
+    EXPECT_EQ(r.nextPc(), 0x2000u);
+}
+
+TEST(Record, NextPcNotTakenBranch)
+{
+    InstrRecord r =
+        makeInstr(0x1000, OpClass::CondBranch, false, 0x2000);
+    EXPECT_FALSE(r.redirects());
+    EXPECT_EQ(r.nextPc(), 0x1004u);
+}
+
+TEST(Record, TransitionTaxonomy)
+{
+    EXPECT_EQ(makeInstr(0, OpClass::IntAlu).transitionType(),
+              FetchTransition::Sequential);
+    EXPECT_EQ(makeInstr(0x100, OpClass::CondBranch, false, 0x200)
+                  .transitionType(),
+              FetchTransition::CondNotTaken);
+    EXPECT_EQ(makeInstr(0x100, OpClass::CondBranch, true, 0x200)
+                  .transitionType(),
+              FetchTransition::CondTakenFwd);
+    EXPECT_EQ(makeInstr(0x200, OpClass::CondBranch, true, 0x100)
+                  .transitionType(),
+              FetchTransition::CondTakenBack);
+    EXPECT_EQ(makeInstr(0, OpClass::UncondBranch, true, 8)
+                  .transitionType(),
+              FetchTransition::UncondBranch);
+    EXPECT_EQ(makeInstr(0, OpClass::Call, true, 8).transitionType(),
+              FetchTransition::Call);
+    EXPECT_EQ(makeInstr(0, OpClass::Jump, true, 8).transitionType(),
+              FetchTransition::Jump);
+    EXPECT_EQ(makeInstr(0, OpClass::Return, true, 8).transitionType(),
+              FetchTransition::Return);
+    EXPECT_EQ(makeInstr(0, OpClass::Trap, true, 8).transitionType(),
+              FetchTransition::Trap);
+}
+
+TEST(Record, MissGroups)
+{
+    EXPECT_EQ(missGroup(FetchTransition::Sequential),
+              MissGroup::Sequential);
+    EXPECT_EQ(missGroup(FetchTransition::CondNotTaken),
+              MissGroup::Branch);
+    EXPECT_EQ(missGroup(FetchTransition::CondTakenFwd),
+              MissGroup::Branch);
+    EXPECT_EQ(missGroup(FetchTransition::CondTakenBack),
+              MissGroup::Branch);
+    EXPECT_EQ(missGroup(FetchTransition::UncondBranch),
+              MissGroup::Branch);
+    EXPECT_EQ(missGroup(FetchTransition::Call), MissGroup::Function);
+    EXPECT_EQ(missGroup(FetchTransition::Jump), MissGroup::Function);
+    EXPECT_EQ(missGroup(FetchTransition::Return),
+              MissGroup::Function);
+    EXPECT_EQ(missGroup(FetchTransition::Trap), MissGroup::Trap);
+}
+
+TEST(Record, Names)
+{
+    EXPECT_STREQ(opClassName(OpClass::Load), "Load");
+    EXPECT_STREQ(transitionName(FetchTransition::CondTakenFwd),
+                 "Cond branch (tf)");
+}
+
+TEST(VectorSource, IterationAndReset)
+{
+    std::vector<InstrRecord> recs = {
+        makeInstr(0x10, OpClass::IntAlu),
+        makeInstr(0x14, OpClass::Load)};
+    VectorTraceSource src(recs);
+    InstrRecord r;
+    ASSERT_TRUE(src.next(r));
+    EXPECT_EQ(r.pc, 0x10u);
+    ASSERT_TRUE(src.next(r));
+    EXPECT_EQ(r.pc, 0x14u);
+    EXPECT_FALSE(src.next(r));
+    src.reset();
+    ASSERT_TRUE(src.next(r));
+    EXPECT_EQ(r.pc, 0x10u);
+}
+
+TEST(LoopingSource, WrapsAround)
+{
+    std::vector<InstrRecord> recs = {makeInstr(0x10, OpClass::IntAlu)};
+    VectorTraceSource inner(recs);
+    LoopingTraceSource src(inner);
+    InstrRecord r;
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(src.next(r));
+        EXPECT_EQ(r.pc, 0x10u);
+    }
+}
+
+TEST(TraceFile, RoundTrip)
+{
+    std::string path = ::testing::TempDir() + "roundtrip.trc";
+    InstrRecord w;
+    w.pc = 0x123456789abcULL;
+    w.target = 0xfedcba987654ULL;
+    w.dataAddr = 0x1122334455ULL;
+    w.op = OpClass::CondBranch;
+    w.taken = true;
+    w.srcReg[0] = 7;
+    w.srcReg[1] = 8;
+    w.dstReg = 9;
+    {
+        TraceFileWriter writer(path);
+        for (int i = 0; i < 100; ++i) {
+            w.pc += instrBytes;
+            writer.write(w);
+        }
+        writer.close();
+        EXPECT_EQ(writer.count(), 100u);
+    }
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.count(), 100u);
+    InstrRecord r;
+    Addr pc = 0x123456789abcULL;
+    int n = 0;
+    while (reader.next(r)) {
+        pc += instrBytes;
+        EXPECT_EQ(r.pc, pc);
+        EXPECT_EQ(r.target, w.target);
+        EXPECT_EQ(r.dataAddr, w.dataAddr);
+        EXPECT_EQ(r.op, OpClass::CondBranch);
+        EXPECT_TRUE(r.taken);
+        EXPECT_EQ(r.srcReg[0], 7);
+        EXPECT_EQ(r.srcReg[1], 8);
+        EXPECT_EQ(r.dstReg, 9);
+        ++n;
+    }
+    EXPECT_EQ(n, 100);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ResetRewinds)
+{
+    std::string path = ::testing::TempDir() + "rewind.trc";
+    {
+        TraceFileWriter writer(path);
+        writer.write(makeInstr(0x42, OpClass::IntAlu));
+        writer.close();
+    }
+    TraceFileReader reader(path);
+    InstrRecord r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_FALSE(reader.next(r));
+    reader.reset();
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.pc, 0x42u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceFileReader("/nonexistent/path/x.trc"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceFile, BadMagicIsFatal)
+{
+    std::string path = ::testing::TempDir() + "bad.trc";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[64] = "not a trace file at all............";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+    EXPECT_EXIT(TraceFileReader{path}, ::testing::ExitedWithCode(1),
+                "bad trace magic");
+    std::remove(path.c_str());
+}
+
+TEST(TraceStats, SummarizesMixAndTransitions)
+{
+    // Two lines: 16 ALU ops in line 0, then a call into line 4.
+    std::vector<InstrRecord> recs;
+    for (int i = 0; i < 15; ++i)
+        recs.push_back(makeInstr(0x1000 + 4 * i, OpClass::IntAlu));
+    recs.push_back(
+        makeInstr(0x103c, OpClass::Call, true, 0x1100));
+    recs.push_back(makeInstr(0x1100, OpClass::Load));
+    recs.back().dataAddr = 0x900000;
+    VectorTraceSource src(recs);
+    TraceSummary s = summarizeTrace(src);
+    EXPECT_EQ(s.instructions, 17u);
+    EXPECT_EQ(s.opCounts[static_cast<std::size_t>(OpClass::Call)],
+              1u);
+    EXPECT_EQ(s.lineTransitions[static_cast<std::size_t>(
+                  FetchTransition::Call)],
+              1u);
+    EXPECT_EQ(s.codeLinesTouched, 2u);
+    EXPECT_EQ(s.dataLinesTouched, 1u);
+    EXPECT_GT(s.discontinuityFraction(), 0.9);
+    std::ostringstream os;
+    s.print(os);
+    EXPECT_NE(os.str().find("instructions: 17"), std::string::npos);
+}
+
+TEST(TraceStats, MaxInstrsBound)
+{
+    std::vector<InstrRecord> recs(50, makeInstr(0x10, OpClass::IntAlu));
+    VectorTraceSource src(recs);
+    TraceSummary s = summarizeTrace(src, 10);
+    EXPECT_EQ(s.instructions, 10u);
+}

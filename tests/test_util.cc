@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Unit tests for the util library: RNG, bit utilities, histograms,
+ * stats, tables and option parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "util/bitutil.hh"
+#include "util/histogram.hh"
+#include "util/options.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace ipref;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsIndependentAndStable)
+{
+    Rng root(42);
+    Rng f1 = root.fork("alpha");
+    Rng f2 = root.fork("alpha");
+    Rng f3 = root.fork("beta");
+    EXPECT_EQ(f1.next(), f2.next());
+    Rng f4 = root.fork("beta");
+    EXPECT_EQ(f3.next(), f4.next());
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t v = rng.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(13);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i)
+        sum += static_cast<double>(rng.geometric(0.5));
+    EXPECT_NEAR(sum / 20000, 1.0, 0.1); // mean (1-p)/p = 1
+}
+
+TEST(Zipf, RankZeroMostPopular)
+{
+    ZipfSampler zipf(100, 1.0);
+    Rng rng(17);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[zipf.sample(rng)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[0], counts[99]);
+    // zipf(1.0): p(0)/p(9) == 10
+    EXPECT_NEAR(static_cast<double>(counts[0]) / counts[9], 10.0,
+                3.0);
+}
+
+TEST(Zipf, SingleItem)
+{
+    ZipfSampler zipf(1, 1.0);
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(BitUtil, PowersOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(96));
+}
+
+TEST(BitUtil, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_EQ(ceilLog2(64), 6u);
+    EXPECT_EQ(ceilLog2(65), 7u);
+}
+
+TEST(BitUtil, Align)
+{
+    EXPECT_EQ(alignDown(0x12345, 64), 0x12340u);
+    EXPECT_EQ(alignUp(0x12345, 64), 0x12380u);
+    EXPECT_EQ(alignUp(0x12340, 64), 0x12340u);
+}
+
+TEST(BitUtil, Bits)
+{
+    EXPECT_EQ(bits(0xFF00, 15, 8), 0xFFu);
+    EXPECT_EQ(bits(0b1010, 3, 1), 0b101u);
+}
+
+TEST(Histogram, MeanAndCount)
+{
+    Log2Histogram h;
+    h.add(1);
+    h.add(3);
+    h.add(8);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 12u);
+    EXPECT_NEAR(h.mean(), 4.0, 1e-9);
+    EXPECT_EQ(h.max(), 8u);
+}
+
+TEST(Histogram, BucketsAndReset)
+{
+    Log2Histogram h;
+    for (int i = 0; i < 10; ++i)
+        h.add(100);
+    EXPECT_EQ(h.buckets()[7], 10u); // 100 in (64,128]
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, Quantile)
+{
+    Log2Histogram h;
+    for (int i = 0; i < 90; ++i)
+        h.add(2);
+    for (int i = 0; i < 10; ++i)
+        h.add(1024);
+    EXPECT_LE(h.quantile(0.5), 4u);
+    EXPECT_GE(h.quantile(0.99), 512u);
+}
+
+TEST(Stats, DumpFormat)
+{
+    Counter c;
+    c += 41;
+    ++c;
+    StatGroup g("grp");
+    g.addCounter("answer", &c, "the answer");
+    g.addFormula("half", [&] { return c.value() / 2.0; });
+    std::ostringstream os;
+    g.dump(os, "top");
+    std::string s = os.str();
+    EXPECT_NE(s.find("top.grp.answer 42"), std::string::npos);
+    EXPECT_NE(s.find("top.grp.half 21"), std::string::npos);
+    EXPECT_NE(s.find("# the answer"), std::string::npos);
+}
+
+TEST(Stats, NestedGroups)
+{
+    Counter c;
+    StatGroup parent("p"), child("c");
+    child.addCounter("x", &c);
+    parent.addChild(&child);
+    std::ostringstream os;
+    parent.dump(os);
+    EXPECT_NE(os.str().find("p.c.x 0"), std::string::npos);
+}
+
+TEST(Table, AlignedOutput)
+{
+    Table t("demo");
+    t.header({"name", "value"});
+    t.row({"a", Table::num(1.5, 2)});
+    t.row({"longer", Table::pct(0.123, 1)});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("1.50"), std::string::npos);
+    EXPECT_NE(s.find("12.3%"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, Csv)
+{
+    Table t;
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Options, ParseForms)
+{
+    const char *argv[] = {"prog", "pos1", "--alpha", "3",
+                          "--beta=x", "--gamma", "2.5", "--flag"};
+    Options o(8, const_cast<char **>(argv));
+    EXPECT_EQ(o.getInt("alpha", 0), 3);
+    EXPECT_EQ(o.getString("beta"), "x");
+    EXPECT_TRUE(o.getBool("flag"));
+    EXPECT_FALSE(o.getBool("missing"));
+    EXPECT_DOUBLE_EQ(o.getDouble("gamma", 0), 2.5);
+    ASSERT_EQ(o.positional().size(), 1u);
+    EXPECT_EQ(o.positional()[0], "pos1");
+}
+
+TEST(Options, Defaults)
+{
+    const char *argv[] = {"prog"};
+    Options o(1, const_cast<char **>(argv));
+    EXPECT_EQ(o.getInt("n", 7), 7);
+    EXPECT_EQ(o.getString("s", "d"), "d");
+    EXPECT_FALSE(o.has("n"));
+}
+
+TEST(Options, UnknownOptionIsFatal)
+{
+    std::map<std::string, std::string> known{{"ok", "help"}};
+    const char *argv[] = {"prog", "--bad", "1"};
+    EXPECT_EXIT(Options(3, const_cast<char **>(argv), known),
+                ::testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(HashString, StableAndDistinct)
+{
+    EXPECT_EQ(hashString("abc"), hashString("abc"));
+    EXPECT_NE(hashString("abc"), hashString("abd"));
+}

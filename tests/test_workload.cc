@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Tests for the synthetic workload generator: CFG structural
+ * invariants, stream consistency (the PC chain property), determinism
+ * and statistical shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "trace/trace_stats.hh"
+#include "workload/presets.hh"
+
+using namespace ipref;
+
+namespace
+{
+
+std::shared_ptr<const ProgramCfg>
+smallProgram()
+{
+    WorkloadConfig cfg;
+    cfg.name = "tiny";
+    cfg.layoutSeed = 99;
+    cfg.codeFootprintBytes = 256u << 10;
+    cfg.concurrentContexts = 2;
+    cfg.contextSwitchPeriod = 500;
+    static std::shared_ptr<const ProgramCfg> prog =
+        std::make_shared<const ProgramCfg>(cfg);
+    return prog;
+}
+
+} // namespace
+
+TEST(Cfg, StructuralInvariants)
+{
+    auto prog = smallProgram();
+    const auto &funcs = prog->functions();
+    const auto &blocks = prog->blocks();
+    ASSERT_GT(funcs.size(), 16u);
+
+    for (const auto &fn : funcs) {
+        ASSERT_GE(fn.numBlocks, 1u);
+        // Entry is the first block's address, function-aligned.
+        EXPECT_EQ(fn.entry, blocks[fn.firstBlock].startPc);
+        EXPECT_EQ(fn.entry % 32, 0u);
+        // Blocks are contiguous in memory.
+        for (std::uint32_t b = 0; b + 1 < fn.numBlocks; ++b) {
+            const BasicBlock &cur = blocks[fn.firstBlock + b];
+            const BasicBlock &nxt = blocks[fn.firstBlock + b + 1];
+            EXPECT_EQ(cur.endPc(), nxt.startPc);
+        }
+        // The last block returns (except the dispatcher's loop).
+        const BasicBlock &last =
+            blocks[fn.firstBlock + fn.numBlocks - 1];
+        if (&fn != &funcs[0])
+            EXPECT_EQ(last.term, TermKind::Return);
+        // Branch targets stay inside the function.
+        for (std::uint32_t b = 0; b < fn.numBlocks; ++b) {
+            const BasicBlock &bb = blocks[fn.firstBlock + b];
+            if (bb.term == TermKind::CondBranch ||
+                (bb.term == TermKind::UncondBranch &&
+                 !bb.isTailCall && &fn != &funcs[0])) {
+                EXPECT_GE(bb.targetBlock, fn.firstBlock);
+                EXPECT_LT(bb.targetBlock,
+                          fn.firstBlock + fn.numBlocks);
+            }
+            if (bb.term == TermKind::Call ||
+                (bb.term == TermKind::UncondBranch && bb.isTailCall))
+                EXPECT_LT(bb.targetFunc, funcs.size());
+        }
+    }
+}
+
+TEST(Cfg, TrapHandlersAreLeaves)
+{
+    auto prog = smallProgram();
+    const auto &blocks = prog->blocks();
+    for (std::uint32_t ti : prog->trapFuncs()) {
+        const Function &fn = prog->functions()[ti];
+        EXPECT_TRUE(fn.isTrapHandler);
+        for (std::uint32_t b = 0; b < fn.numBlocks; ++b) {
+            TermKind t = blocks[fn.firstBlock + b].term;
+            EXPECT_NE(t, TermKind::Call);
+            EXPECT_NE(t, TermKind::IndirectCall);
+        }
+    }
+}
+
+TEST(Cfg, FunctionsDoNotOverlap)
+{
+    auto prog = smallProgram();
+    std::vector<std::pair<Addr, Addr>> ranges;
+    const auto &blocks = prog->blocks();
+    for (const auto &fn : prog->functions()) {
+        Addr lo = fn.entry;
+        Addr hi =
+            blocks[fn.firstBlock + fn.numBlocks - 1].endPc();
+        ranges.push_back({lo, hi});
+    }
+    std::sort(ranges.begin(), ranges.end());
+    for (std::size_t i = 0; i + 1 < ranges.size(); ++i)
+        EXPECT_LE(ranges[i].second, ranges[i + 1].first);
+}
+
+TEST(Cfg, RootCdfIsMonotoneAndComplete)
+{
+    auto prog = smallProgram();
+    const auto &cdf = prog->rootCdf();
+    ASSERT_FALSE(cdf.empty());
+    for (std::size_t i = 1; i < cdf.size(); ++i)
+        EXPECT_GE(cdf[i], cdf[i - 1]);
+    EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+}
+
+TEST(Workload, PcChainConsistency)
+{
+    // The defining stream property: every instruction's address is
+    // the previous instruction's nextPc(). Traps and context
+    // switches must preserve it too.
+    Workload wl(smallProgram(), 1234);
+    InstrRecord prev, cur;
+    ASSERT_TRUE(wl.next(prev));
+    for (int i = 0; i < 200000; ++i) {
+        ASSERT_TRUE(wl.next(cur));
+        ASSERT_EQ(cur.pc, prev.nextPc())
+            << "broken chain at instruction " << i;
+        prev = cur;
+    }
+}
+
+TEST(Workload, DeterministicForSeed)
+{
+    Workload a(smallProgram(), 77);
+    Workload b(smallProgram(), 77);
+    InstrRecord ra, rb;
+    for (int i = 0; i < 20000; ++i) {
+        ASSERT_TRUE(a.next(ra));
+        ASSERT_TRUE(b.next(rb));
+        ASSERT_EQ(ra.pc, rb.pc);
+        ASSERT_EQ(ra.dataAddr, rb.dataAddr);
+        ASSERT_EQ(static_cast<int>(ra.op), static_cast<int>(rb.op));
+    }
+}
+
+TEST(Workload, ResetReproducesStream)
+{
+    Workload wl(smallProgram(), 42);
+    std::vector<Addr> first;
+    InstrRecord r;
+    for (int i = 0; i < 5000; ++i) {
+        wl.next(r);
+        first.push_back(r.pc);
+    }
+    wl.reset();
+    for (int i = 0; i < 5000; ++i) {
+        wl.next(r);
+        ASSERT_EQ(r.pc, first[i]);
+    }
+}
+
+TEST(Workload, SeedsDiverge)
+{
+    Workload a(smallProgram(), 1);
+    Workload b(smallProgram(), 2);
+    InstrRecord ra, rb;
+    int same = 0;
+    for (int i = 0; i < 10000; ++i) {
+        a.next(ra);
+        b.next(rb);
+        same += ra.pc == rb.pc;
+    }
+    EXPECT_LT(same, 9000);
+}
+
+TEST(Workload, MakesProgress)
+{
+    Workload wl(smallProgram(), 5);
+    InstrRecord r;
+    for (int i = 0; i < 300000; ++i)
+        wl.next(r);
+    EXPECT_GT(wl.transactionsCompleted(), 10u);
+    EXPECT_GT(wl.contextSwitches(), 100u);
+    EXPECT_EQ(wl.instructionsEmitted(), 300000u);
+}
+
+TEST(Workload, CodeAddressesWithinFootprint)
+{
+    auto prog = smallProgram();
+    Workload wl(prog, 6);
+    const WorkloadConfig &cfg = prog->config();
+    InstrRecord r;
+    for (int i = 0; i < 100000; ++i) {
+        wl.next(r);
+        EXPECT_GE(r.pc, cfg.codeBase);
+        EXPECT_LT(r.pc, cfg.codeBase + prog->codeBytes());
+    }
+}
+
+TEST(Workload, DataAddressesInDataSegment)
+{
+    auto prog = smallProgram();
+    Workload wl(prog, 7, /*dataOffset=*/0x10000000);
+    const WorkloadConfig &cfg = prog->config();
+    InstrRecord r;
+    int mem_ops = 0;
+    for (int i = 0; i < 100000; ++i) {
+        wl.next(r);
+        if (!r.isMem())
+            continue;
+        ++mem_ops;
+        EXPECT_GE(r.dataAddr, cfg.dataBase + 0x10000000);
+        EXPECT_EQ(r.dataAddr % 4, 0u);
+    }
+    EXPECT_GT(mem_ops, 20000);
+}
+
+TEST(Workload, DisjointDataSegmentsPerCore)
+{
+    auto w0 = makeWorkload(WorkloadKind::WEB, 0);
+    auto w1 = makeWorkload(WorkloadKind::WEB, 1);
+    std::unordered_set<Addr> lines0;
+    InstrRecord r;
+    for (int i = 0; i < 50000; ++i) {
+        w0->next(r);
+        if (r.isMem())
+            lines0.insert(r.dataAddr >> 6);
+    }
+    for (int i = 0; i < 50000; ++i) {
+        w1->next(r);
+        if (r.isMem())
+            EXPECT_EQ(lines0.count(r.dataAddr >> 6), 0u);
+    }
+}
+
+TEST(Workload, SharedCodeAcrossCores)
+{
+    // Same application on two cores shares the program text.
+    auto w0 = makeWorkload(WorkloadKind::WEB, 0);
+    auto w1 = makeWorkload(WorkloadKind::WEB, 1);
+    EXPECT_EQ(&w0->program(), &w1->program());
+}
+
+TEST(Workload, InstructionMixMatchesConfig)
+{
+    auto prog = smallProgram();
+    Workload wl(prog, 9);
+    TraceSummary s = summarizeTrace(wl, 300000);
+    double loads = s.opFraction(OpClass::Load);
+    double stores = s.opFraction(OpClass::Store);
+    // Terminator slots dilute the static mix slightly.
+    EXPECT_NEAR(loads, prog->config().loadFraction, 0.06);
+    EXPECT_NEAR(stores, prog->config().storeFraction, 0.04);
+    EXPECT_GT(s.opFraction(OpClass::CondBranch), 0.02);
+    EXPECT_GT(s.opFraction(OpClass::Call) +
+                  s.opFraction(OpClass::Jump),
+              0.005);
+}
+
+TEST(Workload, TrapsAreRare)
+{
+    auto prog = smallProgram();
+    Workload wl(prog, 10);
+    TraceSummary s = summarizeTrace(wl, 400000);
+    double traps = s.opFraction(OpClass::Trap);
+    // switches (1/500) dominate the plain trap rate here
+    EXPECT_GT(traps, 0.0005);
+    EXPECT_LT(traps, 0.01);
+}
+
+TEST(Presets, AllBuildAndRun)
+{
+    for (WorkloadKind kind : allWorkloadKinds()) {
+        auto wl = makeWorkload(kind, 0);
+        InstrRecord r;
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_TRUE(wl->next(r));
+    }
+}
+
+TEST(Presets, NamesRoundTrip)
+{
+    EXPECT_EQ(parseWorkloadKind("db"), WorkloadKind::DB);
+    EXPECT_EQ(parseWorkloadKind("TPC-W"), WorkloadKind::TPCW);
+    EXPECT_EQ(parseWorkloadKind("jApp"), WorkloadKind::JAPP);
+    EXPECT_EQ(parseWorkloadKind("SPECweb99"), WorkloadKind::WEB);
+    EXPECT_STREQ(workloadName(WorkloadKind::TPCW), "TPC-W");
+}
+
+TEST(Presets, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(parseWorkloadKind("quake3"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(Presets, ProgramsAreMemoized)
+{
+    auto a = buildProgram(WorkloadKind::DB);
+    auto b = buildProgram(WorkloadKind::DB);
+    EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(Presets, DistinctAddressSpaces)
+{
+    // Different applications occupy different code regions so the
+    // CMP "Mix" does not alias.
+    std::set<Addr> bases;
+    for (WorkloadKind kind : allWorkloadKinds())
+        bases.insert(presetConfig(kind).codeBase);
+    EXPECT_EQ(bases.size(), allWorkloadKinds().size());
+}
