@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_confidence.dir/abl_confidence.cc.o"
+  "CMakeFiles/abl_confidence.dir/abl_confidence.cc.o.d"
+  "abl_confidence"
+  "abl_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

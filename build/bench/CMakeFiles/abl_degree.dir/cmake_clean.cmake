@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_degree.dir/abl_degree.cc.o"
+  "CMakeFiles/abl_degree.dir/abl_degree.cc.o.d"
+  "abl_degree"
+  "abl_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_filter.dir/abl_filter.cc.o"
+  "CMakeFiles/abl_filter.dir/abl_filter.cc.o.d"
+  "abl_filter"
+  "abl_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

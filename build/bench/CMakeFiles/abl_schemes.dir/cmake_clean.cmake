@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_schemes.dir/abl_schemes.cc.o"
+  "CMakeFiles/abl_schemes.dir/abl_schemes.cc.o.d"
+  "abl_schemes"
+  "abl_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

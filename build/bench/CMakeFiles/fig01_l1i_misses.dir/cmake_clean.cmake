@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_l1i_misses.dir/fig01_l1i_misses.cc.o"
+  "CMakeFiles/fig01_l1i_misses.dir/fig01_l1i_misses.cc.o.d"
+  "fig01_l1i_misses"
+  "fig01_l1i_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_l1i_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_l2_misses.dir/fig02_l2_misses.cc.o"
+  "CMakeFiles/fig02_l2_misses.dir/fig02_l2_misses.cc.o.d"
+  "fig02_l2_misses"
+  "fig02_l2_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_l2_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

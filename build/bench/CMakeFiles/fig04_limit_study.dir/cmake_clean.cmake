@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_limit_study.dir/fig04_limit_study.cc.o"
+  "CMakeFiles/fig04_limit_study.dir/fig04_limit_study.cc.o.d"
+  "fig04_limit_study"
+  "fig04_limit_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_limit_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

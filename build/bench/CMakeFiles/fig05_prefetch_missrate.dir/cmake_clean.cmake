@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_prefetch_missrate.dir/fig05_prefetch_missrate.cc.o"
+  "CMakeFiles/fig05_prefetch_missrate.dir/fig05_prefetch_missrate.cc.o.d"
+  "fig05_prefetch_missrate"
+  "fig05_prefetch_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_prefetch_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig07_l2_pollution.cc" "bench/CMakeFiles/fig07_l2_pollution.dir/fig07_l2_pollution.cc.o" "gcc" "bench/CMakeFiles/fig07_l2_pollution.dir/fig07_l2_pollution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ipref_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ipref_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ipref_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/ipref_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ipref_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ipref_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/ipref_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ipref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_l2_pollution.dir/fig07_l2_pollution.cc.o"
+  "CMakeFiles/fig07_l2_pollution.dir/fig07_l2_pollution.cc.o.d"
+  "fig07_l2_pollution"
+  "fig07_l2_pollution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_l2_pollution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

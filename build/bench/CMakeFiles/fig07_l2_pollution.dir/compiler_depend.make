@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_l2_pollution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_bypass_speedup.dir/fig08_bypass_speedup.cc.o"
+  "CMakeFiles/fig08_bypass_speedup.dir/fig08_bypass_speedup.cc.o.d"
+  "fig08_bypass_speedup"
+  "fig08_bypass_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_bypass_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_pollution.dir/cmp_pollution.cc.o"
+  "CMakeFiles/cmp_pollution.dir/cmp_pollution.cc.o.d"
+  "cmp_pollution"
+  "cmp_pollution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_pollution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

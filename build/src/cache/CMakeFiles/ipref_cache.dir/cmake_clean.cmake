@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipref_cache.dir/cache.cc.o"
+  "CMakeFiles/ipref_cache.dir/cache.cc.o.d"
+  "CMakeFiles/ipref_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/ipref_cache.dir/hierarchy.cc.o.d"
+  "libipref_cache.a"
+  "libipref_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipref_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipref_cpu.dir/branch_predictor.cc.o"
+  "CMakeFiles/ipref_cpu.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/ipref_cpu.dir/core.cc.o"
+  "CMakeFiles/ipref_cpu.dir/core.cc.o.d"
+  "CMakeFiles/ipref_cpu.dir/tlb.cc.o"
+  "CMakeFiles/ipref_cpu.dir/tlb.cc.o.d"
+  "libipref_cpu.a"
+  "libipref_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipref_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

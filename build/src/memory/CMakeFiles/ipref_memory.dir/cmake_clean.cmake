@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipref_memory.dir/memory.cc.o"
+  "CMakeFiles/ipref_memory.dir/memory.cc.o.d"
+  "libipref_memory.a"
+  "libipref_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipref_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

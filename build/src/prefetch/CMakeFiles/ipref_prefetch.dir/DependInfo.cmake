@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/call_graph.cc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/call_graph.cc.o" "gcc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/call_graph.cc.o.d"
+  "/root/repo/src/prefetch/confidence_filter.cc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/confidence_filter.cc.o" "gcc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/confidence_filter.cc.o.d"
+  "/root/repo/src/prefetch/discontinuity.cc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/discontinuity.cc.o" "gcc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/discontinuity.cc.o.d"
+  "/root/repo/src/prefetch/engine.cc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/engine.cc.o" "gcc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/engine.cc.o.d"
+  "/root/repo/src/prefetch/next_line.cc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/next_line.cc.o" "gcc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/next_line.cc.o.d"
+  "/root/repo/src/prefetch/prefetch_queue.cc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/prefetch_queue.cc.o" "gcc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/prefetch_queue.cc.o.d"
+  "/root/repo/src/prefetch/prefetcher.cc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/prefetcher.cc.o" "gcc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/target_prefetcher.cc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/target_prefetcher.cc.o" "gcc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/target_prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/wrong_path.cc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/wrong_path.cc.o" "gcc" "src/prefetch/CMakeFiles/ipref_prefetch.dir/wrong_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/ipref_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ipref_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ipref_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/ipref_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

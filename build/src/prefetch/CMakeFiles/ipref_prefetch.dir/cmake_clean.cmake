@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipref_prefetch.dir/call_graph.cc.o"
+  "CMakeFiles/ipref_prefetch.dir/call_graph.cc.o.d"
+  "CMakeFiles/ipref_prefetch.dir/confidence_filter.cc.o"
+  "CMakeFiles/ipref_prefetch.dir/confidence_filter.cc.o.d"
+  "CMakeFiles/ipref_prefetch.dir/discontinuity.cc.o"
+  "CMakeFiles/ipref_prefetch.dir/discontinuity.cc.o.d"
+  "CMakeFiles/ipref_prefetch.dir/engine.cc.o"
+  "CMakeFiles/ipref_prefetch.dir/engine.cc.o.d"
+  "CMakeFiles/ipref_prefetch.dir/next_line.cc.o"
+  "CMakeFiles/ipref_prefetch.dir/next_line.cc.o.d"
+  "CMakeFiles/ipref_prefetch.dir/prefetch_queue.cc.o"
+  "CMakeFiles/ipref_prefetch.dir/prefetch_queue.cc.o.d"
+  "CMakeFiles/ipref_prefetch.dir/prefetcher.cc.o"
+  "CMakeFiles/ipref_prefetch.dir/prefetcher.cc.o.d"
+  "CMakeFiles/ipref_prefetch.dir/target_prefetcher.cc.o"
+  "CMakeFiles/ipref_prefetch.dir/target_prefetcher.cc.o.d"
+  "CMakeFiles/ipref_prefetch.dir/wrong_path.cc.o"
+  "CMakeFiles/ipref_prefetch.dir/wrong_path.cc.o.d"
+  "libipref_prefetch.a"
+  "libipref_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipref_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipref_sim.dir/experiment.cc.o"
+  "CMakeFiles/ipref_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/ipref_sim.dir/system.cc.o"
+  "CMakeFiles/ipref_sim.dir/system.cc.o.d"
+  "libipref_sim.a"
+  "libipref_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipref_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

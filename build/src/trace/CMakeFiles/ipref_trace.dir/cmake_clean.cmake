@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipref_trace.dir/record.cc.o"
+  "CMakeFiles/ipref_trace.dir/record.cc.o.d"
+  "CMakeFiles/ipref_trace.dir/trace_file.cc.o"
+  "CMakeFiles/ipref_trace.dir/trace_file.cc.o.d"
+  "CMakeFiles/ipref_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/ipref_trace.dir/trace_stats.cc.o.d"
+  "libipref_trace.a"
+  "libipref_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipref_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipref_util.dir/histogram.cc.o"
+  "CMakeFiles/ipref_util.dir/histogram.cc.o.d"
+  "CMakeFiles/ipref_util.dir/logging.cc.o"
+  "CMakeFiles/ipref_util.dir/logging.cc.o.d"
+  "CMakeFiles/ipref_util.dir/options.cc.o"
+  "CMakeFiles/ipref_util.dir/options.cc.o.d"
+  "CMakeFiles/ipref_util.dir/rng.cc.o"
+  "CMakeFiles/ipref_util.dir/rng.cc.o.d"
+  "CMakeFiles/ipref_util.dir/stats.cc.o"
+  "CMakeFiles/ipref_util.dir/stats.cc.o.d"
+  "CMakeFiles/ipref_util.dir/table.cc.o"
+  "CMakeFiles/ipref_util.dir/table.cc.o.d"
+  "libipref_util.a"
+  "libipref_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipref_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libipref_util.a"
+)

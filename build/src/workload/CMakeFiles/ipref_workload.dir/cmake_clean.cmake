@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipref_workload.dir/cfg.cc.o"
+  "CMakeFiles/ipref_workload.dir/cfg.cc.o.d"
+  "CMakeFiles/ipref_workload.dir/presets.cc.o"
+  "CMakeFiles/ipref_workload.dir/presets.cc.o.d"
+  "CMakeFiles/ipref_workload.dir/workload.cc.o"
+  "CMakeFiles/ipref_workload.dir/workload.cc.o.d"
+  "libipref_workload.a"
+  "libipref_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipref_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefetch_queue.dir/test_prefetch_queue.cc.o"
+  "CMakeFiles/test_prefetch_queue.dir/test_prefetch_queue.cc.o.d"
+  "test_prefetch_queue"
+  "test_prefetch_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefetch_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
