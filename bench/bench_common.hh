@@ -4,9 +4,15 @@
  * output selection and common run patterns.
  *
  * Every bench accepts:
- *   --scale X   multiply the default instruction budgets (also via
- *               the IPREF_SCALE environment variable; both compose)
- *   --csv       print comma-separated values instead of tables
+ *   --scale X            multiply the default instruction budgets
+ *                        (also via the IPREF_SCALE environment
+ *                        variable; both compose)
+ *   --csv                print comma-separated values instead of
+ *                        tables
+ *   --stats-json FILE    write a JSON array with one report per run
+ *   --stats-interval N   sample counter deltas every N instructions
+ *   --trace-events N     keep the last N structured trace events
+ *   --trace-out FILE     trace destination (JSON lines)
  */
 
 #ifndef IPREF_BENCH_BENCH_COMMON_HH
@@ -32,6 +38,14 @@ struct BenchContext
         scale = defaultScale * envScale() *
                 opts.getDouble("scale", 1.0);
         csv = opts.getBool("csv");
+
+        ObservabilityOptions obs;
+        obs.jsonPath = opts.getString("stats-json");
+        obs.intervalInstrs = opts.getUint("stats-interval", 0);
+        obs.traceCapacity = opts.getUint("trace-events", 0);
+        obs.tracePath =
+            opts.getString("trace-out", "trace_events.jsonl");
+        setObservability(obs);
     }
 
     /** Emit a finished table in the chosen format. */

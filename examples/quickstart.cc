@@ -6,12 +6,18 @@
  *   quickstart [--workload db|tpcw|japp|web|mixed] [--cores 1|4]
  *              [--scheme none|nl-miss|nl-tagged|n4l|discontinuity]
  *              [--bypass] [--functional] [--scale X] [--stats]
+ *              [--stats-json FILE] [--stats-interval N]
+ *              [--trace-events N] [--trace-out FILE]
  */
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "sim/experiment.hh"
+#include "util/logging.hh"
 #include "util/options.hh"
+#include "util/trace_event.hh"
 
 using namespace ipref;
 
@@ -19,6 +25,13 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+
+    ObservabilityOptions obs;
+    obs.jsonPath = opts.getString("stats-json");
+    obs.intervalInstrs = opts.getUint("stats-interval", 0);
+    obs.traceCapacity = opts.getUint("trace-events", 0);
+    obs.tracePath = opts.getString("trace-out", "trace_events.jsonl");
+    setObservability(obs);
 
     RunSpec spec;
     spec.cmp = opts.getInt("cores", 4) == 4;
@@ -55,6 +68,21 @@ main(int argc, char **argv)
               << r.pfUseful << " accuracy " << r.pfAccuracy() * 100
               << "%  L1I coverage " << r.l1iCoverage() * 100
               << "%\n";
+    for (std::size_t i = 0; i < r.pfIssuedByOrigin.size(); ++i) {
+        if (r.pfIssuedByOrigin[i] == 0)
+            continue;
+        std::cout << "  "
+                  << originName(static_cast<PrefetchOrigin>(i))
+                  << ": issued " << r.pfIssuedByOrigin[i]
+                  << " useful " << r.pfUsefulByOrigin[i] << "\n";
+    }
+    TimelinessSummary t = system.timeliness();
+    if (t.count > 0) {
+        std::cout << "timeliness (issue-to-use cycles): mean "
+                  << t.meanCycles << "  p50 " << t.p50Cycles
+                  << "  p90 " << t.p90Cycles << "  max "
+                  << t.maxCycles << "\n";
+    }
     std::cout << "branch MPKI: "
               << (r.instructions
                       ? 1000.0 * static_cast<double>(
@@ -78,7 +106,36 @@ main(int argc, char **argv)
     }
     std::cout << "\n";
 
+    const PhaseProfile &prof = system.profile();
+    std::cout << "sim speed: " << prof.measureInstrsPerSec() / 1e6
+              << " Minstr/s (warm-up " << prof.warmupSeconds
+              << "s, measure " << prof.measureSeconds << "s)\n";
+    if (system.config().statsIntervalInstrs > 0)
+        std::cout << "interval samples: " << system.samples().size()
+                  << " (every "
+                  << system.config().statsIntervalInstrs
+                  << " instrs)\n";
+
     if (opts.getBool("stats"))
         system.dumpStats(std::cout);
+
+    if (!obs.jsonPath.empty()) {
+        std::ofstream out(obs.jsonPath);
+        if (!out)
+            ipref_fatal("cannot write JSON report to '%s'",
+                        obs.jsonPath.c_str());
+        std::ostringstream report;
+        system.dumpJson(report);
+        out << "[\n" << report.str() << "]\n";
+        std::cout << "JSON report written to " << obs.jsonPath
+                  << "\n";
+    }
+    if (obs.traceCapacity > 0 && !obs.tracePath.empty()) {
+        std::ofstream out(obs.tracePath);
+        TraceSink::global().writeJsonLines(out);
+        std::cout << "trace events written to " << obs.tracePath
+                  << " (" << TraceSink::global().size() << " of "
+                  << TraceSink::global().recorded() << " recorded)\n";
+    }
     return 0;
 }

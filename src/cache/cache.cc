@@ -173,7 +173,7 @@ SetAssocCache::validLines() const
 }
 
 void
-SetAssocCache::registerStats(StatGroup &group) const
+SetAssocCache::registerStats(StatGroup &group)
 {
     group.addCounter("hits", &hits, "demand hits");
     group.addCounter("misses", &misses, "demand misses");

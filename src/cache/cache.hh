@@ -128,7 +128,7 @@ class SetAssocCache
     Counter evictions;
 
     /** Register this cache's counters in @p group. */
-    void registerStats(StatGroup &group) const;
+    void registerStats(StatGroup &group);
 
   private:
     struct Line

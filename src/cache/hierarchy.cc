@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/trace_event.hh"
 
 namespace ipref
 {
@@ -104,9 +105,22 @@ CacheHierarchy::install(const FillPtr &fill)
         f.isInstr = fill->isInstr;
         f.dirty = fill->dirty && !fill->isInstr;
         f.srcCore = core;
+        IPREF_TRACE(f.prefetched ? TraceEventType::PrefetchFill
+                                 : TraceEventType::CacheFill,
+                    static_cast<std::uint16_t>(core), fill->lineAddr,
+                    0,
+                    fill->isInstr ? traceLevelL1I : traceLevelL1D,
+                    fill->ready);
         Eviction ev = l1.insert(fill->lineAddr, f);
         if (!ev.valid)
             continue;
+        IPREF_TRACE(TraceEventType::CacheEvict,
+                    static_cast<std::uint16_t>(core), ev.lineAddr,
+                    static_cast<std::uint64_t>(ev.used) |
+                        (static_cast<std::uint64_t>(ev.prefetched)
+                         << 1),
+                    fill->isInstr ? traceLevelL1I : traceLevelL1D,
+                    fill->ready);
         if (fill->isInstr) {
             if (listeners_[core])
                 listeners_[core]->instrLineEvicted(core,
@@ -145,6 +159,7 @@ CacheHierarchy::drain(Cycle now)
 {
     ipref_assert(now + 1 > lastNow_); // monotonic time
     lastNow_ = now;
+    IPREF_TRACE_SETNOW(now);
     while (!fillQueue_.empty() && fillQueue_.top()->ready <= now) {
         FillPtr fill = fillQueue_.top();
         fillQueue_.pop();
@@ -184,8 +199,14 @@ CacheHierarchy::fetchAccess(CoreId core, Addr pc,
         if (out.firstUseOfPrefetch)
             ++l1iFirstUseHits;
         res.ready = now + params_.l1Latency;
+        IPREF_TRACE(TraceEventType::CacheHit,
+                    static_cast<std::uint16_t>(core), line,
+                    out.firstUseOfPrefetch, traceLevelL1I, now);
         return res;
     }
+    IPREF_TRACE(TraceEventType::CacheMiss,
+                static_cast<std::uint16_t>(core), line, 0,
+                traceLevelL1I, now);
 
     // Merge with an in-flight fill?
     auto it = inflight_.find(line);
@@ -231,12 +252,18 @@ CacheHierarchy::fetchAccess(CoreId core, Addr pc,
         Cycle ready = now + params_.l2Latency;
         startFill(line, ready, false, true, false, false, core);
         res.ready = ready;
+        IPREF_TRACE(TraceEventType::CacheHit,
+                    static_cast<std::uint16_t>(core), line, 0,
+                    traceLevelL2, now);
         return res;
     }
 
     res.l2Miss = true;
     ++l2iMisses;
     ++l2iMissByTransition[static_cast<std::size_t>(transition)];
+    IPREF_TRACE(TraceEventType::CacheMiss,
+                static_cast<std::uint16_t>(core), line, 0,
+                traceLevelL2, now);
     Cycle ready = memory_.read(now, false);
     startFill(line, ready, false, true, true, false, core);
     res.ready = ready;
@@ -256,10 +283,16 @@ CacheHierarchy::dataAccess(CoreId core, Addr addr, bool isWrite,
     if (out.hit) {
         res.l1Hit = true;
         res.ready = now + params_.l1Latency;
+        IPREF_TRACE(TraceEventType::CacheHit,
+                    static_cast<std::uint16_t>(core), line, 0,
+                    traceLevelL1D, now);
         return res;
     }
 
     ++l1dMisses;
+    IPREF_TRACE(TraceEventType::CacheMiss,
+                static_cast<std::uint16_t>(core), line, 0,
+                traceLevelL1D, now);
 
     auto it = inflight_.find(line);
     if (it != inflight_.end()) {

@@ -165,6 +165,7 @@ OoOCore::fetchStage(Cycle now)
             ev.lineAddr = line;
             ev.prevLineAddr = curFetchLine_;
             ev.transition = tr;
+            ev.now = now;
             ev.miss = res.l1Miss;
             ev.firstUseOfPrefetch = res.firstUseOfPrefetch;
             ev.latePrefetchHit = res.latePrefetchHit;

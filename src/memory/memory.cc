@@ -48,7 +48,7 @@ MemoryChannel::write(Cycle now)
 }
 
 void
-MemoryChannel::registerStats(StatGroup &group) const
+MemoryChannel::registerStats(StatGroup &group)
 {
     group.addCounter("reads", &reads, "line reads");
     group.addCounter("prefetch_reads", &prefetchReads,

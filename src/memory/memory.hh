@@ -88,7 +88,7 @@ class MemoryChannel
                params_.lineBytes;
     }
 
-    void registerStats(StatGroup &group) const;
+    void registerStats(StatGroup &group);
 
   private:
     MemoryParams params_;

@@ -2,6 +2,7 @@
 
 #include "util/bitutil.hh"
 #include "util/logging.hh"
+#include "util/trace_event.hh"
 
 namespace ipref
 {
@@ -34,6 +35,8 @@ DiscontinuityPredictor::lookup(Addr triggerLine) const
     const Entry &e = table_[indexOf(triggerLine)];
     if (!e.valid || e.trigger != triggerLine)
         return std::nullopt;
+    IPREF_TRACE(TraceEventType::DiscHit, traceNoCore, triggerLine,
+                e.target);
     return Hit{e.target, indexOf(triggerLine)};
 }
 
@@ -47,6 +50,8 @@ DiscontinuityPredictor::allocate(Addr triggerLine, Addr targetLine)
         e.target = targetLine;
         e.counter = counterMax;
         ++allocations;
+        IPREF_TRACE(TraceEventType::DiscAlloc, traceNoCore,
+                    triggerLine, targetLine);
         return;
     }
     if (e.trigger == triggerLine) {
@@ -66,10 +71,14 @@ DiscontinuityPredictor::allocate(Addr triggerLine, Addr targetLine)
     }
     // Unrepresented discontinuity conflicts with a resident entry.
     if (e.counter == 0) {
+        IPREF_TRACE(TraceEventType::DiscEvict, traceNoCore, e.trigger,
+                    e.target);
         e.trigger = triggerLine;
         e.target = targetLine;
         e.counter = counterMax;
         ++replacements;
+        IPREF_TRACE(TraceEventType::DiscAlloc, traceNoCore,
+                    triggerLine, targetLine);
     } else {
         --e.counter;
         ++decays;

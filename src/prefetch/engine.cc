@@ -1,5 +1,7 @@
 #include "prefetch/engine.hh"
 
+#include "util/trace_event.hh"
+
 namespace ipref
 {
 
@@ -21,14 +23,18 @@ PrefetchEngine::PrefetchEngine(const PrefetchConfig &cfg, CoreId core,
 }
 
 void
-PrefetchEngine::credit(Addr lineAddr)
+PrefetchEngine::credit(Addr lineAddr, Cycle now)
 {
     auto it = origins_.find(lineAddr);
     if (it == origins_.end())
         return;
+    const LivePrefetch &lp = it->second;
     ++usefulPrefetches;
-    if (it->second.origin == PrefetchOrigin::Discontinuity)
-        prefetcher_->prefetchUseful(it->second.tableIndex);
+    ++usefulByOrigin[static_cast<std::size_t>(lp.origin)];
+    if (now >= lp.issuedAt)
+        issueToUse_.add(now - lp.issuedAt);
+    if (lp.origin == PrefetchOrigin::Discontinuity)
+        prefetcher_->prefetchUseful(lp.tableIndex);
     origins_.erase(it);
 }
 
@@ -39,12 +45,16 @@ PrefetchEngine::onDemandFetch(const DemandFetchEvent &event)
         return;
 
     history_.push(event.lineAddr);
+    std::uint64_t invBefore = queue_.demandInvalidations.value();
     queue_.demandFetched(event.lineAddr);
+    if (queue_.demandInvalidations.value() != invBefore)
+        IPREF_TRACE(TraceEventType::QueueInvalidate, core_,
+                    event.lineAddr, 0, 0, event.now);
 
     if (event.firstUseOfPrefetch || event.latePrefetchHit) {
         if (event.latePrefetchHit)
             ++latePrefetches;
-        credit(event.lineAddr);
+        credit(event.lineAddr, event.now);
     }
 
     scratch_.clear();
@@ -83,7 +93,9 @@ PrefetchEngine::enqueueCandidates()
             ++filteredRecent;
             continue;
         }
-        queue_.push(cand);
+        if (queue_.push(cand) == PrefetchQueue::PushResult::Hoisted)
+            IPREF_TRACE(TraceEventType::QueueHoist, core_,
+                        cand.lineAddr);
     }
 }
 
@@ -102,6 +114,8 @@ PrefetchEngine::tick(Cycle now, bool tagPortFree)
         // counters instead of inspecting the cache tags.
         if (!confidence_->confident(cand->lineAddr)) {
             ++confidenceSuppressed;
+            IPREF_TRACE(TraceEventType::PrefetchDrop, core_,
+                        cand->lineAddr, 0, traceDropConfidence, now);
             return;
         }
     } else {
@@ -109,6 +123,8 @@ PrefetchEngine::tick(Cycle now, bool tagPortFree)
         ++tagProbes;
         if (hierarchy_.probeL1I(core_, cand->lineAddr)) {
             ++tagProbeHits;
+            IPREF_TRACE(TraceEventType::PrefetchDrop, core_,
+                        cand->lineAddr, 0, traceDropTagProbe, now);
             return;
         }
     }
@@ -117,15 +133,35 @@ PrefetchEngine::tick(Cycle now, bool tagPortFree)
         hierarchy_.prefetchRequest(core_, cand->lineAddr, now);
     switch (res.outcome) {
       case PrefetchOutcome::Issued:
-      case PrefetchOutcome::Merged:
+      case PrefetchOutcome::Merged: {
         ++issued;
+        ++issuedByOrigin[static_cast<std::size_t>(cand->origin)];
         if (res.fromMemory)
             ++issuedOffChip;
-        origins_[hierarchy_.lineOf(cand->lineAddr)] =
-            Origin{cand->origin, cand->tableIndex};
+        if (res.ready >= now)
+            fillLatency_.add(res.ready - now);
+        Addr line = hierarchy_.lineOf(cand->lineAddr);
+        auto it = origins_.find(line);
+        if (it != origins_.end()) {
+            // A previous lifecycle for this line is still unresolved:
+            // the new issue supersedes it.
+            ++replacedInFlight;
+            origins_.erase(it);
+        }
+        LivePrefetch lp;
+        lp.origin = cand->origin;
+        lp.tableIndex = cand->tableIndex;
+        lp.id = nextPrefetchId_++;
+        lp.issuedAt = now;
+        IPREF_TRACE(TraceEventType::PrefetchIssue, core_, line, lp.id,
+                    static_cast<std::uint8_t>(cand->origin), now);
+        origins_.emplace(line, lp);
         break;
+      }
       case PrefetchOutcome::DroppedPresent:
         ++tagProbeHits;
+        IPREF_TRACE(TraceEventType::PrefetchDrop, core_,
+                    cand->lineAddr, 0, traceDropPresent, now);
         // The line was resident after all: the confidence filter
         // learns this prefetch was ineffective.
         if (confidence_)
@@ -133,6 +169,8 @@ PrefetchEngine::tick(Cycle now, bool tagPortFree)
         break;
       case PrefetchOutcome::DroppedInFlight:
         ++droppedInFlight;
+        IPREF_TRACE(TraceEventType::PrefetchDrop, core_,
+                    cand->lineAddr, 0, traceDropInFlight, now);
         break;
     }
 }
@@ -150,14 +188,31 @@ PrefetchEngine::prefetchedLineEvicted(CoreId core, Addr lineAddr,
                                       bool used)
 {
     (void)core;
+    auto it = origins_.find(lineAddr);
     if (!used) {
         ++uselessPrefetches;
-        origins_.erase(lineAddr);
-    } else {
-        // Normally credited at first use; cover the rare case where
-        // the line was used but the use event was not observed.
-        origins_.erase(lineAddr);
+        if (it != origins_.end())
+            origins_.erase(it);
+    } else if (it != origins_.end()) {
+        // Normally credited (and erased) at first use; the line was
+        // used but the use event was not observed — close the
+        // lifecycle as useful without a latency sample.
+        ++uncreditedUseful;
+        ++usefulByOrigin[static_cast<std::size_t>(it->second.origin)];
+        origins_.erase(it);
     }
+}
+
+PrefetchEngine::Lifecycle
+PrefetchEngine::lifecycle() const
+{
+    Lifecycle lc;
+    lc.issued = issued.value();
+    lc.useful = usefulPrefetches.value() + uncreditedUseful.value();
+    lc.useless = uselessPrefetches.value();
+    lc.inFlight = origins_.size();
+    lc.dropped = replacedInFlight.value();
+    return lc;
 }
 
 void
@@ -174,8 +229,29 @@ PrefetchEngine::registerStats(StatGroup &group)
     group.addCounter("useful", &usefulPrefetches);
     group.addCounter("late", &latePrefetches);
     group.addCounter("useless", &uselessPrefetches);
+    group.addCounter("uncredited_useful", &uncreditedUseful,
+                     "evicted used without an observed use");
+    group.addCounter("replaced_inflight", &replacedInFlight,
+                     "lifecycles superseded by a re-issue");
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(PrefetchOrigin::NumOrigins);
+         ++i) {
+        std::string origin =
+            originName(static_cast<PrefetchOrigin>(i));
+        group.addCounter("issued_by." + origin, &issuedByOrigin[i]);
+        group.addCounter("useful_by." + origin, &usefulByOrigin[i]);
+    }
     group.addFormula("accuracy", [this] { return accuracy(); },
                      "useful / issued");
+    group.addFormula("in_flight",
+                     [this] {
+                         return static_cast<double>(origins_.size());
+                     },
+                     "issued, not yet used / evicted / replaced");
+    group.addHistogram("issue_to_use_cycles", &issueToUse_,
+                       "prefetch timeliness: issue to first use");
+    group.addHistogram("fill_latency_cycles", &fillLatency_,
+                       "prefetch issue to fill completion");
     group.addCounter("queue_pushes", &queue_.pushes);
     group.addCounter("queue_hoists", &queue_.hoists);
     group.addCounter("queue_dup_drops", &queue_.duplicateDrops);

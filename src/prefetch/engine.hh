@@ -13,6 +13,7 @@
 #ifndef IPREF_PREFETCH_ENGINE_HH
 #define IPREF_PREFETCH_ENGINE_HH
 
+#include <array>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -91,6 +92,16 @@ class PrefetchEngine : public PrefetchEvictionListener
     Counter usefulPrefetches;   //!< first-use or late-merge hits
     Counter latePrefetches;     //!< subset: merged while in flight
     Counter uselessPrefetches;  //!< evicted without use
+    Counter uncreditedUseful;   //!< evicted used, but use not observed
+    Counter replacedInFlight;   //!< lifecycle replaced by a re-issue
+
+    /** Issued / useful fills, attributed to the generating structure. */
+    std::array<Counter,
+               static_cast<std::size_t>(PrefetchOrigin::NumOrigins)>
+        issuedByOrigin;
+    std::array<Counter,
+               static_cast<std::size_t>(PrefetchOrigin::NumOrigins)>
+        usefulByOrigin;
 
     /** Prefetch accuracy: useful / issued. */
     double
@@ -102,17 +113,50 @@ class PrefetchEngine : public PrefetchEvictionListener
                          static_cast<double>(issued.value());
     }
 
+    /** Issue-to-first-use latency of credited prefetches (cycles). */
+    const Log2Histogram &issueToUseLatency() const { return issueToUse_; }
+
+    /** Issue-to-fill latency of issued prefetches (cycles). */
+    const Log2Histogram &fillLatency() const { return fillLatency_; }
+
+    /** Prefetches issued but not yet used, evicted or replaced. */
+    std::size_t liveUnresolved() const { return origins_.size(); }
+
+    /**
+     * Lifecycle reconciliation: every issued prefetch ends in exactly
+     * one bucket. Exact from a freshly constructed system (no stats
+     * reset since construction).
+     */
+    struct Lifecycle
+    {
+        std::uint64_t issued = 0;
+        std::uint64_t useful = 0;   //!< credited + uncredited-on-evict
+        std::uint64_t useless = 0;  //!< evicted without use
+        std::uint64_t inFlight = 0; //!< still unresolved
+        std::uint64_t dropped = 0;  //!< lifecycle replaced by re-issue
+
+        bool
+        reconciles() const
+        {
+            return issued == useful + useless + inFlight + dropped;
+        }
+    };
+    Lifecycle lifecycle() const;
+
     void registerStats(StatGroup &group);
 
   private:
-    struct Origin
+    /** In-flight / resident-unused lifecycle record of one prefetch. */
+    struct LivePrefetch
     {
-        PrefetchOrigin origin;
-        std::uint32_t tableIndex;
+        PrefetchOrigin origin = PrefetchOrigin::Sequential;
+        std::uint32_t tableIndex = 0;
+        std::uint64_t id = 0;
+        Cycle issuedAt = 0;
     };
 
     /** Credit a used prefetched line back to its predictor entry. */
-    void credit(Addr lineAddr);
+    void credit(Addr lineAddr, Cycle now);
 
     /** Enqueue candidates from @p scratch_ through the filters. */
     void enqueueCandidates();
@@ -125,7 +169,10 @@ class PrefetchEngine : public PrefetchEvictionListener
     FetchHistory history_;
     std::unique_ptr<ConfidenceFilter> confidence_;
     std::vector<PrefetchCandidate> scratch_;
-    std::unordered_map<Addr, Origin> origins_;
+    std::unordered_map<Addr, LivePrefetch> origins_;
+    std::uint64_t nextPrefetchId_ = 1;
+    Log2Histogram issueToUse_;
+    Log2Histogram fillLatency_;
 };
 
 } // namespace ipref

@@ -29,6 +29,18 @@ schemeName(PrefetchScheme scheme)
     return "?";
 }
 
+const char *
+originName(PrefetchOrigin origin)
+{
+    switch (origin) {
+      case PrefetchOrigin::Sequential: return "sequential";
+      case PrefetchOrigin::Discontinuity: return "discontinuity";
+      case PrefetchOrigin::TargetTable: return "target_table";
+      case PrefetchOrigin::NumOrigins: break;
+    }
+    return "?";
+}
+
 PrefetchScheme
 parseScheme(const std::string &name)
 {

@@ -53,6 +53,14 @@ struct SystemConfig
      */
     bool functional = false;
 
+    /**
+     * Interval sampling: every N committed instructions of the
+     * measurement window, snapshot a delta sample (0 = disabled).
+     * Samples are retrievable via System::samples() and land in the
+     * JSON report's "intervals" array.
+     */
+    std::uint64_t statsIntervalInstrs = 0;
+
     /** Display name of the workload set ("DB", ..., "Mixed"). */
     std::string workloadSetName() const;
 
@@ -97,6 +105,14 @@ struct SimResults
     std::uint64_t pfFiltered = 0;
     std::uint64_t pfTagProbes = 0;
     std::uint64_t pfTagProbeHits = 0;
+
+    /** Per-origin lifecycle attribution (index = PrefetchOrigin). */
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(PrefetchOrigin::NumOrigins)>
+        pfIssuedByOrigin{};
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(PrefetchOrigin::NumOrigins)>
+        pfUsefulByOrigin{};
 
     std::uint64_t bypassInstalls = 0;
     std::uint64_t bypassDrops = 0;

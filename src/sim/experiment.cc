@@ -1,9 +1,54 @@
 #include "sim/experiment.hh"
 
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/trace_event.hh"
 
 namespace ipref
 {
+
+namespace
+{
+
+ObservabilityOptions g_observability;
+
+/** JSON reports of every runSpec() since setObservability(). */
+std::vector<std::string> g_jsonReports;
+
+void
+rewriteJsonArray()
+{
+    std::ofstream out(g_observability.jsonPath);
+    if (!out)
+        ipref_fatal("cannot write JSON report to '%s'",
+                    g_observability.jsonPath.c_str());
+    out << "[\n";
+    for (std::size_t i = 0; i < g_jsonReports.size(); ++i)
+        out << (i ? ",\n" : "") << g_jsonReports[i];
+    out << "]\n";
+}
+
+} // namespace
+
+void
+setObservability(const ObservabilityOptions &opts)
+{
+    g_observability = opts;
+    g_jsonReports.clear();
+    if (opts.traceCapacity > 0)
+        TraceSink::global().enable(opts.traceCapacity);
+    else
+        TraceSink::global().disable();
+}
+
+const ObservabilityOptions &
+observability()
+{
+    return g_observability;
+}
 
 SystemConfig
 makeConfig(const RunSpec &spec)
@@ -32,6 +77,8 @@ makeConfig(const RunSpec &spec)
     cfg.prefetch.tableEntries = spec.tableEntries;
     cfg.prefetch.targetWays = spec.targetWays;
 
+    cfg.statsIntervalInstrs = g_observability.intervalInstrs;
+
     double scale = spec.instrScale;
     if (spec.functional) {
         cfg.warmupInstrs =
@@ -51,7 +98,24 @@ SimResults
 runSpec(const RunSpec &spec)
 {
     System system(makeConfig(spec));
-    return system.run();
+    SimResults results = system.run();
+
+    if (!g_observability.jsonPath.empty()) {
+        std::ostringstream report;
+        system.dumpJson(report);
+        g_jsonReports.push_back(report.str());
+        rewriteJsonArray();
+    }
+    if (g_observability.traceCapacity > 0 &&
+        !g_observability.tracePath.empty()) {
+        // Retained tail of the most recent run (the ring is cleared
+        // between runs so events don't bleed across configurations).
+        std::ofstream out(g_observability.tracePath);
+        if (out)
+            TraceSink::global().writeJsonLines(out);
+        TraceSink::global().clear();
+    }
+    return results;
 }
 
 std::vector<WorkloadSet>

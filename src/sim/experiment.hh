@@ -54,6 +54,38 @@ SystemConfig makeConfig(const RunSpec &spec);
 /** Build, run, and return measurement results for @p spec. */
 SimResults runSpec(const RunSpec &spec);
 
+/**
+ * Process-wide observability options, consulted by makeConfig() and
+ * runSpec() so every bench and example honours the same CLI flags
+ * without per-driver plumbing.
+ */
+struct ObservabilityOptions
+{
+    /**
+     * Destination for the JSON report (empty = off). Each runSpec()
+     * appends one report and rewrites the file as a complete JSON
+     * array, so it parses at any point between runs.
+     */
+    std::string jsonPath;
+
+    /** SystemConfig::statsIntervalInstrs for every run (0 = off). */
+    std::uint64_t intervalInstrs = 0;
+
+    /**
+     * Enable the global TraceSink with this ring capacity (0 = off).
+     * The captured tail of the most recent run is written to
+     * tracePath (JSON lines) after each runSpec().
+     */
+    std::uint64_t traceCapacity = 0;
+    std::string tracePath = "trace_events.jsonl";
+};
+
+/** Install process-wide observability options (resets JSON state). */
+void setObservability(const ObservabilityOptions &opts);
+
+/** The currently installed options. */
+const ObservabilityOptions &observability();
+
 /** A labelled workload set for figure loops ("DB".."Web", "Mixed"). */
 struct WorkloadSet
 {

@@ -1,7 +1,12 @@
 #include "sim/system.hh"
 
+#include <algorithm>
+#include <chrono>
+
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
+#include "util/trace_event.hh"
 
 namespace ipref
 {
@@ -47,6 +52,12 @@ SimResults::delta(const SimResults &end, const SimResults &start)
     d.pfFiltered = end.pfFiltered - start.pfFiltered;
     d.pfTagProbes = end.pfTagProbes - start.pfTagProbes;
     d.pfTagProbeHits = end.pfTagProbeHits - start.pfTagProbeHits;
+    for (std::size_t i = 0; i < d.pfIssuedByOrigin.size(); ++i) {
+        d.pfIssuedByOrigin[i] =
+            end.pfIssuedByOrigin[i] - start.pfIssuedByOrigin[i];
+        d.pfUsefulByOrigin[i] =
+            end.pfUsefulByOrigin[i] - start.pfUsefulByOrigin[i];
+    }
     d.bypassInstalls = end.bypassInstalls - start.bypassInstalls;
     d.bypassDrops = end.bypassDrops - start.bypassDrops;
     d.memReads = end.memReads - start.memReads;
@@ -112,6 +123,29 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
                 c, cfg_.core, *hierarchy_, *engines_[c],
                 workloads_[c].get()));
     }
+
+    // Persistent stats tree: built once, reused by dumps, reset at
+    // the warm-up/measure boundary.
+    statsRoot_ = std::make_unique<StatGroup>("system");
+    auto hier = std::make_unique<StatGroup>("hierarchy");
+    hierarchy_->registerStats(*hier);
+    hierarchy_->memory().registerStats(*hier);
+    statsRoot_->addChild(hier.get());
+    statGroups_.push_back(std::move(hier));
+    for (std::size_t c = 0; c < engines_.size(); ++c) {
+        auto g = std::make_unique<StatGroup>(
+            "prefetch." + std::to_string(c));
+        engines_[c]->registerStats(*g);
+        statsRoot_->addChild(g.get());
+        statGroups_.push_back(std::move(g));
+    }
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        auto g = std::make_unique<StatGroup>(
+            "core." + std::to_string(c));
+        cores_[c]->registerStats(*g);
+        statsRoot_->addChild(g.get());
+        statGroups_.push_back(std::move(g));
+    }
 }
 
 System::~System() = default;
@@ -131,13 +165,38 @@ System::progress() const
 }
 
 void
+System::maybeSample(std::uint64_t p)
+{
+    while (p >= nextSampleAt_) {
+        SimResults cur = collect();
+        IntervalSample s;
+        s.endInstructions = cur.instructions;
+        s.delta = SimResults::delta(cur, lastSample_);
+        s.delta.ipc =
+            s.delta.cycles
+                ? static_cast<double>(s.delta.instructions) /
+                      static_cast<double>(s.delta.cycles)
+                : 0.0;
+        samples_.push_back(s);
+        lastSample_ = cur;
+        nextSampleAt_ += cfg_.statsIntervalInstrs;
+    }
+}
+
+void
 System::runTiming(std::uint64_t targetInstrs)
 {
     bool sliced = cfg_.numCores == 1 && workloads_.size() > 1;
+    bool sampling = cfg_.statsIntervalInstrs > 0 && nextSampleAt_ > 0;
     Cycle guard =
         now_ + 1000 + 400 * (targetInstrs - std::min(targetInstrs,
                                                      progress()));
-    while (progress() < targetInstrs) {
+    while (true) {
+        std::uint64_t p = progress();
+        if (p >= targetInstrs)
+            break;
+        if (sampling)
+            maybeSample(p);
         for (auto &core : cores_)
             core->tick(now_);
         ++now_;
@@ -160,7 +219,13 @@ void
 System::runFunctional(std::uint64_t targetInstrs)
 {
     bool sliced = cfg_.numCores == 1 && workloads_.size() > 1;
-    while (progress() < targetInstrs) {
+    bool sampling = cfg_.statsIntervalInstrs > 0 && nextSampleAt_ > 0;
+    while (true) {
+        std::uint64_t p = progress();
+        if (p >= targetInstrs)
+            break;
+        if (sampling)
+            maybeSample(p);
         for (unsigned c = 0; c < cfg_.numCores; ++c) {
             FuncState &st = funcState_[c];
             InstrRecord rec;
@@ -178,6 +243,7 @@ System::runFunctional(std::uint64_t targetInstrs)
                 ev.lineAddr = line;
                 ev.prevLineAddr = st.curLine;
                 ev.transition = tr;
+                ev.now = now_;
                 ev.miss = res.l1Miss;
                 ev.firstUseOfPrefetch = res.firstUseOfPrefetch;
                 ev.latePrefetchHit = res.latePrefetchHit;
@@ -227,8 +293,8 @@ SimResults
 System::collect() const
 {
     SimResults r;
-    r.instructions = progress();
-    r.cycles = now_;
+    r.instructions = progress() - measureInstrBase_;
+    r.cycles = now_ - measureCycleBase_;
 
     const CacheHierarchy &h = *hierarchy_;
     r.fetchLineAccesses = h.fetchLineAccesses.value();
@@ -257,6 +323,10 @@ System::collect() const
         r.pfFiltered += e->filteredRecent.value();
         r.pfTagProbes += e->tagProbes.value();
         r.pfTagProbeHits += e->tagProbeHits.value();
+        for (std::size_t i = 0; i < r.pfIssuedByOrigin.size(); ++i) {
+            r.pfIssuedByOrigin[i] += e->issuedByOrigin[i].value();
+            r.pfUsefulByOrigin[i] += e->usefulByOrigin[i].value();
+        }
     }
 
     r.memReads = hierarchy_->memory().reads.value();
@@ -274,57 +344,241 @@ System::collect() const
     return r;
 }
 
+void
+System::beginMeasurement()
+{
+    // Counters restart from zero (collect() then reads measurement
+    // deltas directly — no hand-kept start snapshot).
+    statsRoot_->resetAll();
+    measureInstrBase_ = progress();
+    measureCycleBase_ = now_;
+    if (!cfg_.functional && !cores_.empty())
+        sliceStart_ = cores_[0]->committed();
+
+    samples_.clear();
+    lastSample_ = SimResults{};
+    nextSampleAt_ = cfg_.statsIntervalInstrs > 0
+                        ? measureInstrBase_ + cfg_.statsIntervalInstrs
+                        : 0;
+}
+
 SimResults
 System::run()
 {
+    using clock = std::chrono::steady_clock;
+    auto seconds = [](clock::time_point a, clock::time_point b) {
+        return std::chrono::duration<double>(b - a).count();
+    };
+
+    auto t0 = clock::now();
     if (cfg_.warmupInstrs > 0) {
+        std::uint64_t target = progress() + cfg_.warmupInstrs;
         if (cfg_.functional)
-            runFunctional(cfg_.warmupInstrs);
+            runFunctional(target);
         else
-            runTiming(cfg_.warmupInstrs);
+            runTiming(target);
     }
-    SimResults start = collect();
-    std::uint64_t target = cfg_.warmupInstrs + cfg_.measureInstrs;
+    auto t1 = clock::now();
+    profile_.warmupSeconds = seconds(t0, t1);
+    profile_.warmupInstructions = progress();
+
+    beginMeasurement();
+    std::uint64_t target = progress() + cfg_.measureInstrs;
     if (cfg_.functional)
         runFunctional(target);
     else
         runTiming(target);
-    SimResults end = collect();
-    results_ = SimResults::delta(end, start);
+    auto t2 = clock::now();
+
+    results_ = collect();
     results_.ipc =
         results_.cycles
             ? static_cast<double>(results_.instructions) /
                   static_cast<double>(results_.cycles)
             : 0.0;
+    profile_.measureSeconds = seconds(t1, t2);
+    profile_.measureInstructions = results_.instructions;
+
+    // Close the trailing partial interval so sample deltas cover the
+    // whole measurement window.
+    if (cfg_.statsIntervalInstrs > 0 &&
+        (samples_.empty() ||
+         lastSample_.instructions < results_.instructions)) {
+        IntervalSample s;
+        s.endInstructions = results_.instructions;
+        s.delta = SimResults::delta(results_, lastSample_);
+        s.delta.ipc =
+            s.delta.cycles
+                ? static_cast<double>(s.delta.instructions) /
+                      static_cast<double>(s.delta.cycles)
+                : 0.0;
+        samples_.push_back(s);
+        lastSample_ = results_;
+    }
     return results_;
+}
+
+TimelinessSummary
+System::timeliness() const
+{
+    // Merge per-engine histograms bucket-wise for chip-level
+    // quantiles (same bucket-boundary estimate as
+    // Log2Histogram::quantile).
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t sum = 0;
+    TimelinessSummary t;
+    for (const auto &e : engines_) {
+        const Log2Histogram &h = e->issueToUseLatency();
+        if (h.buckets().size() > buckets.size())
+            buckets.resize(h.buckets().size(), 0);
+        for (std::size_t b = 0; b < h.buckets().size(); ++b)
+            buckets[b] += h.buckets()[b];
+        t.count += h.count();
+        sum += h.sum();
+        t.maxCycles = std::max(t.maxCycles, h.max());
+    }
+    if (t.count == 0)
+        return t;
+    t.meanCycles =
+        static_cast<double>(sum) / static_cast<double>(t.count);
+    auto quantile = [&](double q) -> std::uint64_t {
+        std::uint64_t target = static_cast<std::uint64_t>(
+            q * static_cast<double>(t.count));
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            seen += buckets[i];
+            if (seen > target)
+                return i == 0 ? 1 : (std::uint64_t{1} << i);
+        }
+        return t.maxCycles;
+    };
+    t.p50Cycles = quantile(0.5);
+    t.p90Cycles = quantile(0.9);
+    return t;
 }
 
 void
 System::dumpStats(std::ostream &os) const
 {
-    StatGroup root("system");
+    statsRoot_->dump(os);
+}
 
-    StatGroup hier("hierarchy");
-    hierarchy_->registerStats(hier);
-    hierarchy_->memory().registerStats(hier);
-    root.addChild(&hier);
+void
+System::dumpJson(std::ostream &os) const
+{
+    const SimResults &r = results_;
+    os << "{\n";
 
-    std::vector<std::unique_ptr<StatGroup>> groups;
-    for (std::size_t c = 0; c < engines_.size(); ++c) {
-        auto g = std::make_unique<StatGroup>(
-            "prefetch." + std::to_string(c));
-        engines_[c]->registerStats(*g);
-        root.addChild(g.get());
-        groups.push_back(std::move(g));
+    // --- configuration ------------------------------------------------
+    os << "  \"config\": {\n"
+       << "    \"workload\": " << jsonString(cfg_.workloadSetName())
+       << ",\n"
+       << "    \"cores\": " << cfg_.numCores << ",\n"
+       << "    \"scheme\": "
+       << jsonString(schemeName(cfg_.prefetch.scheme)) << ",\n"
+       << "    \"degree\": " << cfg_.prefetch.degree << ",\n"
+       << "    \"bypass_l2\": "
+       << (cfg_.hierarchy.prefetchBypassL2 ? "true" : "false") << ",\n"
+       << "    \"functional\": "
+       << (cfg_.functional ? "true" : "false") << ",\n"
+       << "    \"warmup_instrs\": " << cfg_.warmupInstrs << ",\n"
+       << "    \"measure_instrs\": " << cfg_.measureInstrs << ",\n"
+       << "    \"stats_interval_instrs\": " << cfg_.statsIntervalInstrs
+       << ",\n"
+       << "    \"base_seed\": " << cfg_.baseSeed << "\n"
+       << "  },\n";
+
+    // --- headline results --------------------------------------------
+    os << "  \"results\": {\n"
+       << "    \"instructions\": " << r.instructions << ",\n"
+       << "    \"cycles\": " << r.cycles << ",\n"
+       << "    \"ipc\": " << jsonNumber(r.ipc) << ",\n"
+       << "    \"l1i_miss_per_instr\": "
+       << jsonNumber(r.l1iMissPerInstr()) << ",\n"
+       << "    \"l2i_miss_per_instr\": "
+       << jsonNumber(r.l2iMissPerInstr()) << ",\n"
+       << "    \"l2d_miss_per_instr\": "
+       << jsonNumber(r.l2dMissPerInstr()) << "\n"
+       << "  },\n";
+
+    // --- per-scheme prefetch lifecycle attribution --------------------
+    TimelinessSummary t = timeliness();
+    std::uint64_t inFlight = 0, dropped = 0, uncredited = 0;
+    for (const auto &e : engines_) {
+        inFlight += e->liveUnresolved();
+        dropped += e->replacedInFlight.value();
+        uncredited += e->uncreditedUseful.value();
     }
-    for (std::size_t c = 0; c < cores_.size(); ++c) {
-        auto g = std::make_unique<StatGroup>(
-            "core." + std::to_string(c));
-        cores_[c]->registerStats(*g);
-        root.addChild(g.get());
-        groups.push_back(std::move(g));
+    os << "  \"prefetch\": {\n"
+       << "    \"scheme\": "
+       << jsonString(schemeName(cfg_.prefetch.scheme)) << ",\n"
+       << "    \"issued\": " << r.pfIssued << ",\n"
+       << "    \"useful\": " << r.pfUseful << ",\n"
+       << "    \"uncredited_useful\": " << uncredited << ",\n"
+       << "    \"late\": " << r.pfLate << ",\n"
+       << "    \"useless\": " << r.pfUseless << ",\n"
+       << "    \"in_flight\": " << inFlight << ",\n"
+       << "    \"dropped\": " << dropped << ",\n"
+       << "    \"accuracy\": " << jsonNumber(r.pfAccuracy()) << ",\n"
+       << "    \"coverage\": " << jsonNumber(r.l1iCoverage()) << ",\n"
+       << "    \"timeliness\": {\"count\": " << t.count
+       << ", \"mean_cycles\": " << jsonNumber(t.meanCycles)
+       << ", \"p50_cycles\": " << t.p50Cycles
+       << ", \"p90_cycles\": " << t.p90Cycles
+       << ", \"max_cycles\": " << t.maxCycles << "},\n"
+       << "    \"by_origin\": {";
+    for (std::size_t i = 0; i < r.pfIssuedByOrigin.size(); ++i) {
+        os << (i ? ", " : "")
+           << jsonString(originName(static_cast<PrefetchOrigin>(i)))
+           << ": {\"issued\": " << r.pfIssuedByOrigin[i]
+           << ", \"useful\": " << r.pfUsefulByOrigin[i] << "}";
     }
-    root.dump(os);
+    os << "}\n  },\n";
+
+    // --- interval samples --------------------------------------------
+    os << "  \"intervals\": [";
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        const IntervalSample &s = samples_[i];
+        os << (i ? ",\n" : "\n") << "    {\"end_instructions\": "
+           << s.endInstructions
+           << ", \"instructions\": " << s.delta.instructions
+           << ", \"cycles\": " << s.delta.cycles
+           << ", \"ipc\": " << jsonNumber(s.delta.ipc)
+           << ", \"l1i_misses\": " << s.delta.l1iMisses
+           << ", \"l2i_misses\": " << s.delta.l2iMisses
+           << ", \"l2d_misses\": " << s.delta.l2dMisses
+           << ", \"pf_issued\": " << s.delta.pfIssued
+           << ", \"pf_useful\": " << s.delta.pfUseful
+           << ", \"pf_late\": " << s.delta.pfLate
+           << ", \"mem_reads\": " << s.delta.memReads << "}";
+    }
+    os << (samples_.empty() ? "" : "\n  ") << "],\n";
+
+    // --- phase profile -----------------------------------------------
+    os << "  \"profile\": {\n"
+       << "    \"warmup_seconds\": "
+       << jsonNumber(profile_.warmupSeconds) << ",\n"
+       << "    \"measure_seconds\": "
+       << jsonNumber(profile_.measureSeconds) << ",\n"
+       << "    \"warmup_instructions\": "
+       << profile_.warmupInstructions << ",\n"
+       << "    \"measure_instructions\": "
+       << profile_.measureInstructions << ",\n"
+       << "    \"measure_instrs_per_sec\": "
+       << jsonNumber(profile_.measureInstrsPerSec()) << "\n"
+       << "  },\n";
+
+    // --- tracing summary (only meaningful when enabled) ---------------
+    const TraceSink &sink = TraceSink::global();
+    os << "  \"trace\": {\"enabled\": "
+       << (sink.enabled() ? "true" : "false")
+       << ", \"recorded\": " << sink.recorded()
+       << ", \"dropped\": " << sink.dropped() << "},\n";
+
+    // --- full stats tree ---------------------------------------------
+    os << "  \"stats\": ";
+    statsRoot_->dumpJson(os, 2);
+    os << "\n}\n";
 }
 
 } // namespace ipref

@@ -1,6 +1,8 @@
 /**
  * @file
- * System assembly and the simulation loops (timing and functional).
+ * System assembly and the simulation loops (timing and functional),
+ * plus the observability surface: a persistent stats tree, warm-up /
+ * measurement phase profiling, interval sampling and JSON reporting.
  */
 
 #ifndef IPREF_SIM_SYSTEM_HH
@@ -11,9 +13,48 @@
 #include <vector>
 
 #include "sim/config.hh"
+#include "util/stats.hh"
 
 namespace ipref
 {
+
+/** Wall-clock / throughput profile of the most recent run(). */
+struct PhaseProfile
+{
+    double warmupSeconds = 0.0;
+    double measureSeconds = 0.0;
+    std::uint64_t warmupInstructions = 0;
+    std::uint64_t measureInstructions = 0;
+
+    /** Simulation speed over the measurement phase (instrs/sec). */
+    double
+    measureInstrsPerSec() const
+    {
+        return measureSeconds > 0.0
+                   ? static_cast<double>(measureInstructions) /
+                         measureSeconds
+                   : 0.0;
+    }
+};
+
+/** One interval sample: counter deltas over the last N instructions. */
+struct IntervalSample
+{
+    /** Committed instructions since the measurement started. */
+    std::uint64_t endInstructions = 0;
+    /** Deltas relative to the previous sample (or measure start). */
+    SimResults delta;
+};
+
+/** Aggregate timeliness summary across all prefetch engines. */
+struct TimelinessSummary
+{
+    std::uint64_t count = 0; //!< credited prefetches with a sample
+    double meanCycles = 0.0;
+    std::uint64_t p50Cycles = 0;
+    std::uint64_t p90Cycles = 0;
+    std::uint64_t maxCycles = 0;
+};
 
 /**
  * A complete simulated chip: workload walkers, hierarchy, prefetch
@@ -42,12 +83,34 @@ class System
     Workload &workload(std::size_t i) { return *workloads_[i]; }
     std::size_t workloadCount() const { return workloads_.size(); }
 
-    /** Dump every component's statistics. */
+    /** Interval samples collected by the most recent run(). */
+    const std::vector<IntervalSample> &samples() const { return samples_; }
+
+    /** Wall-clock profile of the most recent run(). */
+    const PhaseProfile &profile() const { return profile_; }
+
+    /** Issue-to-first-use latency summary across all engines. */
+    TimelinessSummary timeliness() const;
+
+    /** Dump every component's statistics as text. */
     void dumpStats(std::ostream &os) const;
 
+    /**
+     * Machine-readable report: config, measurement results with
+     * per-scheme prefetch lifecycle attribution, the full stats tree,
+     * interval samples and the phase profile, as one JSON object.
+     */
+    void dumpJson(std::ostream &os) const;
+
   private:
-    /** Snapshot all counters into a SimResults (absolute values). */
+    /** Snapshot all counters into a SimResults (measure-relative). */
     SimResults collect() const;
+
+    /** Reset registered stats at the warm-up/measure boundary. */
+    void beginMeasurement();
+
+    /** Emit due interval samples given current progress @p p. */
+    void maybeSample(std::uint64_t p);
 
     void runTiming(std::uint64_t targetInstrs);
     void runFunctional(std::uint64_t targetInstrs);
@@ -78,6 +141,21 @@ class System
 
     Cycle now_ = 0;
     SimResults results_;
+
+    // --- observability ------------------------------------------------
+    /** Persistent stats tree over every component (built once). */
+    std::unique_ptr<StatGroup> statsRoot_;
+    std::vector<std::unique_ptr<StatGroup>> statGroups_;
+
+    /** Progress/cycle bases of the measurement window. */
+    std::uint64_t measureInstrBase_ = 0;
+    Cycle measureCycleBase_ = 0;
+
+    std::vector<IntervalSample> samples_;
+    SimResults lastSample_;
+    std::uint64_t nextSampleAt_ = 0;
+
+    PhaseProfile profile_;
 };
 
 } // namespace ipref

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the stats/tracing writers.
+ * Emission only — the simulator never parses JSON; tests parse the
+ * output with their own validator to keep the dependency surface zero.
+ */
+
+#ifndef IPREF_UTIL_JSON_HH
+#define IPREF_UTIL_JSON_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace ipref
+{
+
+/** Escape @p s for use inside a JSON string literal. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Quoted JSON string literal for @p s. */
+inline std::string
+jsonString(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+/** "0x..." hex rendering of @p v (JSON has no hex numbers). */
+inline std::string
+jsonHex(std::uint64_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+
+/** Finite JSON number for @p v (NaN/inf become 0). */
+inline std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    return os.str();
+}
+
+} // namespace ipref
+
+#endif // IPREF_UTIL_JSON_HH

@@ -1,7 +1,9 @@
 /**
  * @file
- * Minimal statistics package: named scalar counters and derived
- * formulas collected into groups, with text dump support.
+ * Statistics package: named scalar counters, derived formulas and
+ * latency histograms collected into groups, with aligned text and
+ * machine-readable JSON dump support plus recursive reset (warm-up /
+ * measurement delta collection).
  *
  * Modeled (loosely) on gem5's stats: a component owns a StatGroup,
  * registers counters at construction, and the simulation driver dumps
@@ -16,6 +18,8 @@
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "util/histogram.hh"
 
 namespace ipref
 {
@@ -38,9 +42,10 @@ class Counter
 };
 
 /**
- * A named collection of counters and derived values.
+ * A named collection of counters, derived values and histograms.
  *
- * Groups can nest; dump() prints "prefix.name value" lines.
+ * Groups can nest; dump() prints "prefix.name value" lines and
+ * dumpJson() emits one nested JSON object for the whole tree.
  */
 class StatGroup
 {
@@ -49,7 +54,7 @@ class StatGroup
 
     /** Register a counter under @p name; the counter must outlive us. */
     void
-    addCounter(std::string name, const Counter *c, std::string desc = "")
+    addCounter(std::string name, Counter *c, std::string desc = "")
     {
         counters_.push_back({std::move(name), c, std::move(desc)});
     }
@@ -63,11 +68,29 @@ class StatGroup
                              std::move(desc)});
     }
 
-    /** Attach a child group (not owned). */
-    void addChild(const StatGroup *child) { children_.push_back(child); }
+    /** Register a histogram; dumped as count/mean/max/p50/p90. */
+    void
+    addHistogram(std::string name, Log2Histogram *h,
+                 std::string desc = "")
+    {
+        histograms_.push_back({std::move(name), h, std::move(desc)});
+    }
 
-    /** Print all stats as "prefix.name  value  # desc" lines. */
+    /** Attach a child group (not owned). */
+    void addChild(StatGroup *child) { children_.push_back(child); }
+
+    /** Print all stats as aligned "prefix.name  value  # desc" lines. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Emit the group as one JSON object:
+     *   {"stats": {name: value, ...}, "children": {name: {...}}}
+     * Histograms render as {"count","sum","mean","max","p50","p90"}.
+     */
+    void dumpJson(std::ostream &os, int indent = 0) const;
+
+    /** Recursively reset every registered counter and histogram. */
+    void resetAll();
 
     const std::string &name() const { return name_; }
 
@@ -75,7 +98,7 @@ class StatGroup
     struct NamedCounter
     {
         std::string name;
-        const Counter *counter;
+        Counter *counter;
         std::string desc;
     };
     struct NamedFormula
@@ -84,11 +107,18 @@ class StatGroup
         std::function<double()> fn;
         std::string desc;
     };
+    struct NamedHistogram
+    {
+        std::string name;
+        Log2Histogram *hist;
+        std::string desc;
+    };
 
     std::string name_;
     std::vector<NamedCounter> counters_;
     std::vector<NamedFormula> formulas_;
-    std::vector<const StatGroup *> children_;
+    std::vector<NamedHistogram> histograms_;
+    std::vector<StatGroup *> children_;
 };
 
 } // namespace ipref

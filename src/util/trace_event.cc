@@ -1,0 +1,94 @@
+#include "util/trace_event.hh"
+
+#include "util/json.hh"
+
+namespace ipref
+{
+
+const char *
+traceEventName(TraceEventType type)
+{
+    switch (type) {
+      case TraceEventType::CacheHit: return "cache_hit";
+      case TraceEventType::CacheMiss: return "cache_miss";
+      case TraceEventType::CacheFill: return "cache_fill";
+      case TraceEventType::CacheEvict: return "cache_evict";
+      case TraceEventType::PrefetchIssue: return "prefetch_issue";
+      case TraceEventType::PrefetchDrop: return "prefetch_drop";
+      case TraceEventType::PrefetchFill: return "prefetch_fill";
+      case TraceEventType::QueueHoist: return "queue_hoist";
+      case TraceEventType::QueueInvalidate: return "queue_invalidate";
+      case TraceEventType::DiscAlloc: return "disc_alloc";
+      case TraceEventType::DiscEvict: return "disc_evict";
+      case TraceEventType::DiscHit: return "disc_hit";
+      case TraceEventType::NumTypes: break;
+    }
+    return "unknown";
+}
+
+void
+TraceSink::enable(std::size_t capacity)
+{
+    ring_.assign(capacity ? capacity : 1, TraceEvent{});
+    head_ = 0;
+    recorded_ = 0;
+    countsByType_.fill(0);
+    enabled_ = true;
+}
+
+void
+TraceSink::disable()
+{
+    enabled_ = false;
+    ring_.clear();
+    ring_.shrink_to_fit();
+    head_ = 0;
+    recorded_ = 0;
+}
+
+void
+TraceSink::clear()
+{
+    head_ = 0;
+    recorded_ = 0;
+    countsByType_.fill(0);
+}
+
+std::vector<TraceEvent>
+TraceSink::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    std::size_t n = size();
+    out.reserve(n);
+    // Oldest event: head_ when wrapped, index 0 otherwise.
+    std::size_t start = recorded_ > ring_.size() ? head_ : 0;
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+void
+TraceSink::writeJsonLines(std::ostream &os) const
+{
+    for (const TraceEvent &e : snapshot()) {
+        os << "{\"cycle\":" << e.cycle << ",\"type\":\""
+           << traceEventName(e.type) << "\"";
+        if (e.core != traceNoCore)
+            os << ",\"core\":" << e.core;
+        os << ",\"addr\":\"" << jsonHex(e.addr) << "\"";
+        if (e.arg)
+            os << ",\"arg\":" << e.arg;
+        if (e.detail)
+            os << ",\"detail\":" << static_cast<unsigned>(e.detail);
+        os << "}\n";
+    }
+}
+
+TraceSink &
+TraceSink::global()
+{
+    static TraceSink sink;
+    return sink;
+}
+
+} // namespace ipref

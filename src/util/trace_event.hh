@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Low-overhead structured event tracing for the simulator.
+ *
+ * A TraceSink is a fixed-capacity ring buffer of small POD events
+ * (cache hits/misses/fills/evictions, prefetch issue/drop/fill, queue
+ * hoist/invalidate, discontinuity-table traffic) with cycle
+ * timestamps. Recording is a single branch plus a store when the sink
+ * is enabled and exactly one predictable branch when it is not; with
+ * IPREF_TRACE_EVENTS defined to 0 every IPREF_TRACE() site compiles
+ * away entirely.
+ *
+ * Events are drained as JSON lines (one object per line) so external
+ * tooling can consume them without a schema.
+ */
+
+#ifndef IPREF_UTIL_TRACE_EVENT_HH
+#define IPREF_UTIL_TRACE_EVENT_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace ipref
+{
+
+/** Event taxonomy (see DESIGN.md "Observability"). */
+enum class TraceEventType : std::uint8_t
+{
+    CacheHit,        //!< demand hit (detail = cache level)
+    CacheMiss,       //!< demand miss (detail = cache level)
+    CacheFill,       //!< demand fill installed (detail = level)
+    CacheEvict,      //!< line evicted (arg bit0 = used, bit1 = prefetched)
+    PrefetchIssue,   //!< fill started (arg = prefetch id, detail = origin)
+    PrefetchDrop,    //!< candidate not issued (detail = DropReason)
+    PrefetchFill,    //!< prefetch fill installed into an L1I
+    QueueHoist,      //!< waiting duplicate hoisted to the queue head
+    QueueInvalidate, //!< demand fetch invalidated a waiting prefetch
+    DiscAlloc,       //!< discontinuity-table allocation (arg = target)
+    DiscEvict,       //!< discontinuity-table replacement (arg = target)
+    DiscHit,         //!< discontinuity-table probe hit (arg = target)
+    NumTypes
+};
+
+/** Stable lower-case name of @p type ("prefetch_issue", ...). */
+const char *traceEventName(TraceEventType type);
+
+/** Cache levels used in the `detail` field of cache events. */
+enum : std::uint8_t
+{
+    traceLevelL1I = 1,
+    traceLevelL1D = 2,
+    traceLevelL2 = 3,
+};
+
+/** Drop reasons used in the `detail` field of PrefetchDrop. */
+enum : std::uint8_t
+{
+    traceDropPresent = 0,    //!< line already resident (hierarchy)
+    traceDropInFlight = 1,   //!< fill already in flight
+    traceDropConfidence = 2, //!< suppressed by the confidence filter
+    traceDropTagProbe = 3,   //!< tag-port probe found the line
+};
+
+/** Core id used when the emitting component has no core context. */
+inline constexpr std::uint16_t traceNoCore = 0xffff;
+
+/** One structured simulator event (32 bytes). */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    Addr addr = 0;
+    std::uint64_t arg = 0;
+    std::uint16_t core = traceNoCore;
+    TraceEventType type = TraceEventType::CacheHit;
+    std::uint8_t detail = 0;
+};
+
+/**
+ * Ring-buffered event sink. Disabled (capacity 0) by default; the
+ * global() instance is what instrumented components write into.
+ */
+class TraceSink
+{
+  public:
+    TraceSink() = default;
+
+    /** Start recording into a fresh ring of @p capacity events. */
+    void enable(std::size_t capacity);
+
+    /** Stop recording and release the ring (buffered events drop). */
+    void disable();
+
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Record one event. When @p cycle is traceNowHint the sink's last
+     * setNow() value is used (components without a cycle in scope).
+     */
+    void
+    record(TraceEventType type, std::uint16_t core, Addr addr,
+           std::uint64_t arg = 0, std::uint8_t detail = 0,
+           Cycle cycle = traceNowHint)
+    {
+        if (!enabled_)
+            return;
+        TraceEvent &e = ring_[head_];
+        e.cycle = cycle == traceNowHint ? now_ : cycle;
+        e.addr = addr;
+        e.arg = arg;
+        e.core = core;
+        e.type = type;
+        e.detail = detail;
+        head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+        ++recorded_;
+        ++countsByType_[static_cast<std::size_t>(type)];
+    }
+
+    /** Update the cycle used for events recorded without one. */
+    void setNow(Cycle now) { now_ = now; }
+
+    /** Total events recorded (including overwritten ones). */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Events overwritten by ring wraparound. */
+    std::uint64_t
+    dropped() const
+    {
+        return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+    }
+
+    /** Events currently buffered. */
+    std::size_t
+    size() const
+    {
+        return recorded_ < ring_.size()
+                   ? static_cast<std::size_t>(recorded_)
+                   : ring_.size();
+    }
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Per-type totals (indexed by TraceEventType). */
+    const std::array<std::uint64_t,
+                     static_cast<std::size_t>(TraceEventType::NumTypes)> &
+    countsByType() const
+    {
+        return countsByType_;
+    }
+
+    /** Buffered events, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Write buffered events as JSON lines, oldest first. */
+    void writeJsonLines(std::ostream &os) const;
+
+    /** Forget buffered events and totals; keep the ring. */
+    void clear();
+
+    /** The process-wide sink instrumentation writes into. */
+    static TraceSink &global();
+
+    /** Sentinel cycle: "use the setNow() hint". */
+    static constexpr Cycle traceNowHint = ~static_cast<Cycle>(0);
+
+  private:
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0;
+    std::uint64_t recorded_ = 0;
+    bool enabled_ = false;
+    Cycle now_ = 0;
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(TraceEventType::NumTypes)>
+        countsByType_{};
+};
+
+} // namespace ipref
+
+/**
+ * Instrumentation entry point. Compiles to nothing when
+ * IPREF_TRACE_EVENTS is 0; otherwise a single enabled() branch.
+ */
+#ifndef IPREF_TRACE_EVENTS
+#define IPREF_TRACE_EVENTS 1
+#endif
+
+#if IPREF_TRACE_EVENTS
+#define IPREF_TRACE(...)                                               \
+    do {                                                               \
+        ::ipref::TraceSink &ts_ = ::ipref::TraceSink::global();        \
+        if (ts_.enabled())                                             \
+            ts_.record(__VA_ARGS__);                                   \
+    } while (0)
+#define IPREF_TRACE_SETNOW(now)                                        \
+    do {                                                               \
+        ::ipref::TraceSink &ts_ = ::ipref::TraceSink::global();        \
+        if (ts_.enabled())                                             \
+            ts_.setNow(now);                                           \
+    } while (0)
+#else
+#define IPREF_TRACE(...) ((void)0)
+#define IPREF_TRACE_SETNOW(now) ((void)0)
+#endif
+
+#endif // IPREF_UTIL_TRACE_EVENT_HH

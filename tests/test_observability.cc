@@ -1,0 +1,547 @@
+/**
+ * @file
+ * Observability-layer tests: trace-event ring semantics, JSON
+ * round-trips (stats tree and full system report), prefetch
+ * lifecycle reconciliation and interval sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "util/stats.hh"
+#include "util/trace_event.hh"
+
+using namespace ipref;
+
+namespace
+{
+
+// --- minimal JSON parser (test-only) ---------------------------------
+// Just enough to round-trip what the simulator emits: objects,
+// arrays, strings with the escapes jsonEscape produces, numbers and
+// literals. Throws std::runtime_error on malformed input.
+
+struct JsonValue
+{
+    enum Kind { Null, Bool, Number, String, Array, Object } kind = Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> fields;
+
+    bool has(const std::string &key) const { return fields.count(key); }
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        auto it = fields.find(key);
+        if (it == fields.end())
+            throw std::runtime_error("missing key: " + key);
+        return it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        throw std::runtime_error("JSON error at offset " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            fail("unexpected end");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    JsonValue
+    value()
+    {
+        switch (peek()) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+          case 'f':
+            return boolean();
+          case 'n':
+            literal("null");
+            return JsonValue{};
+          default:
+            return number();
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            JsonValue key = string();
+            expect(':');
+            v.fields[key.str] = value();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue
+    string()
+    {
+        JsonValue v;
+        v.kind = JsonValue::String;
+        expect('"');
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c != '\\') {
+                v.str += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("bad escape");
+            char e = s_[pos_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                v.str += e;
+                break;
+              case 'n':
+                v.str += '\n';
+                break;
+              case 't':
+                v.str += '\t';
+                break;
+              case 'r':
+                v.str += '\r';
+                break;
+              case 'b':
+                v.str += '\b';
+                break;
+              case 'f':
+                v.str += '\f';
+                break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    fail("bad \\u escape");
+                unsigned code = static_cast<unsigned>(
+                    std::stoul(s_.substr(pos_, 4), nullptr, 16));
+                pos_ += 4;
+                v.str += static_cast<char>(code & 0x7f);
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+        if (pos_ >= s_.size())
+            fail("unterminated string");
+        ++pos_; // closing quote
+        return v;
+    }
+
+    JsonValue
+    number()
+    {
+        skipWs();
+        std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E'))
+            ++pos_;
+        if (start == pos_)
+            fail("bad number");
+        JsonValue v;
+        v.kind = JsonValue::Number;
+        v.number = std::stod(s_.substr(start, pos_ - start));
+        return v;
+    }
+
+    JsonValue
+    boolean()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Bool;
+        if (s_[pos_] == 't') {
+            literal("true");
+            v.boolean = true;
+        } else {
+            literal("false");
+        }
+        return v;
+    }
+
+    void
+    literal(const char *word)
+    {
+        skipWs();
+        std::string w(word);
+        if (s_.compare(pos_, w.size(), w) != 0)
+            fail("bad literal");
+        pos_ += w.size();
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+/** RAII reset so tests don't leak trace/observability state. */
+struct ObservabilityGuard
+{
+    ~ObservabilityGuard() { setObservability(ObservabilityOptions{}); }
+};
+
+} // namespace
+
+// --- trace sink ------------------------------------------------------
+
+TEST(TraceSink, DisabledRecordsNothing)
+{
+    TraceSink sink;
+    sink.record(TraceEventType::CacheMiss, 0, 0x1000, 0, 0, 5);
+    EXPECT_EQ(sink.recorded(), 0u);
+    EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(TraceSink, RecordsInOrder)
+{
+    TraceSink sink;
+    sink.enable(16);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        sink.record(TraceEventType::CacheMiss, 0, 0x1000 + i * 64, i,
+                    0, i);
+    ASSERT_EQ(sink.size(), 5u);
+    auto events = sink.snapshot();
+    ASSERT_EQ(events.size(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(events[i].cycle, i);
+        EXPECT_EQ(events[i].addr, 0x1000 + i * 64);
+    }
+}
+
+TEST(TraceSink, RingWraparoundKeepsNewestOldestFirst)
+{
+    TraceSink sink;
+    sink.enable(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        sink.record(TraceEventType::PrefetchIssue, 0, i, i, 0, i);
+    EXPECT_EQ(sink.recorded(), 10u);
+    EXPECT_EQ(sink.dropped(), 6u);
+    auto events = sink.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    // The ring retains the newest 4 events, oldest first.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(events[i].cycle, 6 + i);
+}
+
+TEST(TraceSink, CountsByType)
+{
+    TraceSink sink;
+    sink.enable(8);
+    sink.record(TraceEventType::CacheHit, 0, 1, 0, 0, 0);
+    sink.record(TraceEventType::CacheHit, 0, 2, 0, 0, 1);
+    sink.record(TraceEventType::DiscAlloc, 0, 3, 0, 0, 2);
+    auto counts = sink.countsByType();
+    EXPECT_EQ(
+        counts[static_cast<std::size_t>(TraceEventType::CacheHit)],
+        2u);
+    EXPECT_EQ(
+        counts[static_cast<std::size_t>(TraceEventType::DiscAlloc)],
+        1u);
+}
+
+TEST(TraceSink, JsonLinesRoundTrip)
+{
+    TraceSink sink;
+    sink.enable(8);
+    sink.record(TraceEventType::PrefetchIssue, 2, 0xdeadbeef, 17, 1,
+                1234);
+    sink.record(TraceEventType::CacheEvict, traceNoCore, 0x40, 3, 3,
+                1235);
+    std::ostringstream os;
+    sink.writeJsonLines(os);
+
+    std::istringstream lines(os.str());
+    std::string line;
+    std::vector<JsonValue> parsed;
+    while (std::getline(lines, line))
+        parsed.push_back(parseJson(line));
+    ASSERT_EQ(parsed.size(), 2u);
+
+    EXPECT_EQ(parsed[0].at("type").str, "prefetch_issue");
+    EXPECT_EQ(parsed[0].at("cycle").number, 1234);
+    EXPECT_EQ(parsed[0].at("addr").str, "0xdeadbeef");
+    EXPECT_EQ(parsed[0].at("arg").number, 17);
+    EXPECT_EQ(parsed[0].at("core").number, 2);
+    EXPECT_EQ(parsed[0].at("detail").number, 1);
+    EXPECT_EQ(parsed[1].at("type").str, "cache_evict");
+}
+
+// --- stats JSON ------------------------------------------------------
+
+TEST(StatsJson, TreeRoundTrips)
+{
+    Counter hits, misses;
+    hits += 90;
+    misses += 10;
+    Log2Histogram lat;
+    lat.add(100);
+    lat.add(200);
+
+    StatGroup root("system"), child("l1i");
+    child.addCounter("hits", &hits, "demand hits");
+    child.addCounter("misses", &misses);
+    child.addFormula("miss_rate", [&] {
+        return static_cast<double>(misses.value()) /
+               static_cast<double>(hits.value() + misses.value());
+    });
+    child.addHistogram("latency", &lat);
+    root.addChild(&child);
+
+    std::ostringstream os;
+    root.dumpJson(os);
+    JsonValue v = parseJson(os.str());
+
+    const JsonValue &l1i = v.at("children").at("l1i");
+    EXPECT_EQ(l1i.at("stats").at("hits").number, 90);
+    EXPECT_EQ(l1i.at("stats").at("misses").number, 10);
+    EXPECT_NEAR(l1i.at("stats").at("miss_rate").number, 0.1, 1e-9);
+    const JsonValue &hist = l1i.at("stats").at("latency");
+    EXPECT_EQ(hist.at("count").number, 2);
+    EXPECT_EQ(hist.at("sum").number, 300);
+    EXPECT_EQ(hist.at("max").number, 200);
+}
+
+// --- full-system report ---------------------------------------------
+
+namespace
+{
+
+/** Small discontinuity-prefetch config for observability tests. */
+SystemConfig
+observedConfig(std::uint64_t interval, std::uint64_t warmup = 0)
+{
+    RunSpec spec;
+    spec.cmp = true;
+    spec.workloads = {WorkloadKind::WEB};
+    spec.scheme = PrefetchScheme::Discontinuity;
+    spec.instrScale = 0.1;
+    SystemConfig cfg = makeConfig(spec);
+    cfg.warmupInstrs = warmup;
+    cfg.statsIntervalInstrs = interval;
+    return cfg;
+}
+
+} // namespace
+
+TEST(SystemReport, JsonParsesWithLifecycleAndIntervals)
+{
+    ObservabilityGuard guard;
+    System system(observedConfig(40'000));
+    system.run();
+
+    std::ostringstream os;
+    system.dumpJson(os);
+    JsonValue v = parseJson(os.str());
+
+    EXPECT_EQ(v.at("config").at("scheme").str, "discontinuity");
+    EXPECT_GT(v.at("results").at("instructions").number, 0);
+    EXPECT_GT(v.at("results").at("ipc").number, 0);
+
+    const JsonValue &pf = v.at("prefetch");
+    EXPECT_GT(pf.at("issued").number, 0);
+    EXPECT_TRUE(pf.at("by_origin").has("sequential"));
+    EXPECT_TRUE(pf.at("by_origin").has("discontinuity"));
+    EXPECT_TRUE(pf.at("timeliness").has("p90_cycles"));
+
+    // The acceptance bar: at least two interval samples.
+    const JsonValue &intervals = v.at("intervals");
+    ASSERT_EQ(intervals.kind, JsonValue::Array);
+    EXPECT_GE(intervals.items.size(), 2u);
+
+    EXPECT_TRUE(v.at("stats").at("children").has("hierarchy"));
+    EXPECT_TRUE(v.at("stats").at("children").has("prefetch.0"));
+    EXPECT_GT(v.at("profile").at("measure_seconds").number, 0);
+}
+
+TEST(SystemReport, IntervalDeltasSumToTotals)
+{
+    ObservabilityGuard guard;
+    System system(observedConfig(30'000));
+    SimResults r = system.run();
+
+    ASSERT_GE(system.samples().size(), 2u);
+    std::uint64_t instrs = 0, cycles = 0, misses = 0, issued = 0;
+    for (const auto &s : system.samples()) {
+        instrs += s.delta.instructions;
+        cycles += s.delta.cycles;
+        misses += s.delta.l1iMisses;
+        issued += s.delta.pfIssued;
+    }
+    EXPECT_EQ(instrs, r.instructions);
+    EXPECT_EQ(cycles, r.cycles);
+    EXPECT_EQ(misses, r.l1iMisses);
+    EXPECT_EQ(issued, r.pfIssued);
+    // Samples end at the final instruction count, monotonically.
+    EXPECT_EQ(system.samples().back().endInstructions,
+              r.instructions);
+    for (std::size_t i = 1; i < system.samples().size(); ++i)
+        EXPECT_GT(system.samples()[i].endInstructions,
+                  system.samples()[i - 1].endInstructions);
+}
+
+// --- lifecycle reconciliation ----------------------------------------
+
+TEST(Lifecycle, IssuedEqualsUsefulPlusUselessPlusInFlightPlusDropped)
+{
+    ObservabilityGuard guard;
+    // No warm-up: a mid-run stats reset would orphan in-flight
+    // lifecycle entries and the identity below would not hold.
+    System system(observedConfig(0, 0));
+    SimResults r = system.run();
+    ASSERT_GT(r.pfIssued, 0u);
+
+    std::uint64_t issued = 0, accounted = 0;
+    for (unsigned c = 0; c < system.config().numCores; ++c) {
+        PrefetchEngine::Lifecycle lc = system.engine(c).lifecycle();
+        EXPECT_TRUE(lc.reconciles())
+            << "core " << c << ": issued " << lc.issued << " != "
+            << lc.useful << " + " << lc.useless << " + "
+            << lc.inFlight << " + " << lc.dropped;
+        issued += lc.issued;
+        accounted +=
+            lc.useful + lc.useless + lc.inFlight + lc.dropped;
+    }
+    EXPECT_EQ(issued, accounted);
+    EXPECT_EQ(issued, r.pfIssued);
+}
+
+TEST(Lifecycle, PerOriginAttributionSumsToTotals)
+{
+    ObservabilityGuard guard;
+    System system(observedConfig(0, 0));
+    SimResults r = system.run();
+
+    std::uint64_t issuedByOrigin = 0;
+    for (auto v : r.pfIssuedByOrigin)
+        issuedByOrigin += v;
+    EXPECT_EQ(issuedByOrigin, r.pfIssued);
+
+    // Discontinuity runs must attribute issues to both the sequential
+    // and the discontinuity origin.
+    EXPECT_GT(r.pfIssuedByOrigin[static_cast<std::size_t>(
+                  PrefetchOrigin::Sequential)],
+              0u);
+    EXPECT_GT(r.pfIssuedByOrigin[static_cast<std::size_t>(
+                  PrefetchOrigin::Discontinuity)],
+              0u);
+}
+
+// --- tracing end-to-end ----------------------------------------------
+
+TEST(TraceSink, SystemRunEmitsLifecycleEvents)
+{
+    ObservabilityGuard guard;
+    TraceSink &sink = TraceSink::global();
+    sink.enable(1u << 16);
+    System system(observedConfig(0, 0));
+    system.run();
+
+    auto counts = sink.countsByType();
+    EXPECT_GT(counts[static_cast<std::size_t>(
+                  TraceEventType::CacheMiss)],
+              0u);
+    EXPECT_GT(counts[static_cast<std::size_t>(
+                  TraceEventType::PrefetchIssue)],
+              0u);
+    EXPECT_GT(counts[static_cast<std::size_t>(
+                  TraceEventType::PrefetchFill)],
+              0u);
+    EXPECT_GT(counts[static_cast<std::size_t>(
+                  TraceEventType::DiscAlloc)],
+              0u);
+    sink.disable();
+}

@@ -186,6 +186,27 @@ TEST(Histogram, Quantile)
     EXPECT_GE(h.quantile(0.99), 512u);
 }
 
+namespace
+{
+
+/** Find the dump line for @p name; @return its value token. */
+std::string
+dumpValue(const std::string &dump, const std::string &name)
+{
+    std::istringstream lines(dump);
+    std::string line;
+    while (std::getline(lines, line)) {
+        std::istringstream tokens(line);
+        std::string n, v;
+        tokens >> n >> v;
+        if (n == name)
+            return v;
+    }
+    return "";
+}
+
+} // namespace
+
 TEST(Stats, DumpFormat)
 {
     Counter c;
@@ -197,9 +218,48 @@ TEST(Stats, DumpFormat)
     std::ostringstream os;
     g.dump(os, "top");
     std::string s = os.str();
-    EXPECT_NE(s.find("top.grp.answer 42"), std::string::npos);
-    EXPECT_NE(s.find("top.grp.half 21"), std::string::npos);
+    EXPECT_EQ(dumpValue(s, "top.grp.answer"), "42");
+    EXPECT_EQ(dumpValue(s, "top.grp.half"), "21");
     EXPECT_NE(s.find("# the answer"), std::string::npos);
+}
+
+TEST(Stats, DumpAlignsValuesAndSanitizesDescriptions)
+{
+    Counter a, b;
+    a += 7;
+    StatGroup g("grp");
+    g.addCounter("x", &a, "multi\nline\rdesc");
+    g.addCounter("much_longer_name", &b);
+    std::ostringstream os;
+    g.dump(os);
+    std::string s = os.str();
+    // Newlines in descriptions must not split the stat line.
+    EXPECT_EQ(s.find("multi\nline"), std::string::npos);
+    EXPECT_NE(s.find("# multi line desc"), std::string::npos);
+    // Short names are padded so values line up with the widest name.
+    std::istringstream lines(s);
+    std::string first, second;
+    std::getline(lines, first);
+    std::getline(lines, second);
+    EXPECT_EQ(first.find('7'), second.find('0'));
+}
+
+TEST(Stats, ResetAllRecursesIntoChildren)
+{
+    Counter a, b;
+    Log2Histogram h;
+    a += 5;
+    b += 9;
+    h.add(100);
+    StatGroup parent("p"), child("c");
+    parent.addCounter("a", &a);
+    parent.addHistogram("h", &h);
+    child.addCounter("b", &b);
+    parent.addChild(&child);
+    parent.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+    EXPECT_EQ(h.count(), 0u);
 }
 
 TEST(Stats, NestedGroups)
@@ -261,12 +321,57 @@ TEST(Options, Defaults)
     EXPECT_FALSE(o.has("n"));
 }
 
+TEST(Options, EqualsAndSpaceFormsAreEquivalent)
+{
+    const char *argv1[] = {"prog", "--alpha=3", "--beta=x",
+                           "--gamma=2.5"};
+    const char *argv2[] = {"prog", "--alpha", "3", "--beta", "x",
+                           "--gamma", "2.5"};
+    Options eq(4, const_cast<char **>(argv1));
+    Options sp(7, const_cast<char **>(argv2));
+    EXPECT_EQ(eq.getInt("alpha", 0), sp.getInt("alpha", 0));
+    EXPECT_EQ(eq.getString("beta"), sp.getString("beta"));
+    EXPECT_DOUBLE_EQ(eq.getDouble("gamma", 0),
+                     sp.getDouble("gamma", 0));
+}
+
+TEST(Options, KnownMapAcceptsBothForms)
+{
+    std::map<std::string, std::string> known{{"stats-json", ""},
+                                             {"stats-interval", ""}};
+    const char *argv[] = {"prog", "--stats-json=out.json",
+                          "--stats-interval", "100000"};
+    Options o(4, const_cast<char **>(argv), known);
+    EXPECT_EQ(o.getString("stats-json"), "out.json");
+    EXPECT_EQ(o.getUint("stats-interval", 0), 100000u);
+}
+
+TEST(Options, BoolForms)
+{
+    const char *argv[] = {"prog", "--on", "--off=0", "--no=false",
+                          "--yes=1"};
+    Options o(5, const_cast<char **>(argv));
+    EXPECT_TRUE(o.getBool("on"));
+    EXPECT_FALSE(o.getBool("off"));
+    EXPECT_FALSE(o.getBool("no"));
+    EXPECT_TRUE(o.getBool("yes"));
+    EXPECT_TRUE(o.getBool("missing", true));
+}
+
 TEST(Options, UnknownOptionIsFatal)
 {
     std::map<std::string, std::string> known{{"ok", "help"}};
     const char *argv[] = {"prog", "--bad", "1"};
     EXPECT_EXIT(Options(3, const_cast<char **>(argv), known),
                 ::testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(Options, UnknownEqualsFormIsFatal)
+{
+    std::map<std::string, std::string> known{{"ok", "help"}};
+    const char *argv[] = {"prog", "--bad=1"};
+    EXPECT_EXIT(Options(2, const_cast<char **>(argv), known),
+                ::testing::ExitedWithCode(1), "unknown option --bad");
 }
 
 TEST(HashString, StableAndDistinct)
