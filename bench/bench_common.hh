@@ -13,6 +13,7 @@
  *   --stats-interval N   sample counter deltas every N instructions
  *   --trace-events N     keep the last N structured trace events
  *   --trace-out FILE     trace destination (JSON lines)
+ *   --profile-sites K    track the K hottest miss sites / edges
  */
 
 #ifndef IPREF_BENCH_BENCH_COMMON_HH
@@ -45,6 +46,7 @@ struct BenchContext
         obs.traceCapacity = opts.getUint("trace-events", 0);
         obs.tracePath =
             opts.getString("trace-out", "trace_events.jsonl");
+        obs.profileSites = opts.getUint("profile-sites", 0);
         setObservability(obs);
     }
 

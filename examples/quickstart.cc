@@ -8,12 +8,14 @@
  *              [--bypass] [--functional] [--scale X] [--stats]
  *              [--stats-json FILE] [--stats-interval N]
  *              [--trace-events N] [--trace-out FILE]
+ *              [--profile-sites K]
  */
 
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "prefetch/fetch_profiler.hh"
 #include "sim/experiment.hh"
 #include "util/logging.hh"
 #include "util/options.hh"
@@ -31,6 +33,7 @@ main(int argc, char **argv)
     obs.intervalInstrs = opts.getUint("stats-interval", 0);
     obs.traceCapacity = opts.getUint("trace-events", 0);
     obs.tracePath = opts.getString("trace-out", "trace_events.jsonl");
+    obs.profileSites = opts.getUint("profile-sites", 0);
     setObservability(obs);
 
     RunSpec spec;
@@ -115,6 +118,15 @@ main(int argc, char **argv)
                   << " (every "
                   << system.config().statsIntervalInstrs
                   << " instrs)\n";
+
+    if (const FetchProfiler *fp = system.profiler()) {
+        std::cout << "hot fetch sites:";
+        for (const auto &e : fp->sites().top(4))
+            std::cout << " 0x" << std::hex << e.key << std::dec << " ("
+                      << e.aux.misses << "m/" << e.aux.pfIssued
+                      << "pf)";
+        std::cout << "\n";
+    }
 
     if (opts.getBool("stats"))
         system.dumpStats(std::cout);

@@ -9,11 +9,11 @@
  *               [--load path]
  */
 
-#include <algorithm>
 #include <iostream>
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/analyzer.hh"
 #include "trace/trace_file.hh"
 #include "trace/trace_stats.hh"
 #include "util/options.hh"
@@ -31,12 +31,10 @@ concentration(TraceSource &src, std::uint64_t n)
     std::unordered_map<Addr, std::uint64_t> lines;
     InstrRecord rec;
     Addr prev_line = invalidAddr;
-    std::uint64_t transitions = 0;
     for (std::uint64_t i = 0; i < n && src.next(rec); ++i) {
         Addr line = rec.pc >> 6;
         if (line != prev_line) {
             ++lines[line];
-            ++transitions;
             prev_line = line;
         }
     }
@@ -44,21 +42,15 @@ concentration(TraceSource &src, std::uint64_t n)
     counts.reserve(lines.size());
     for (const auto &kv : lines)
         counts.push_back(kv.second);
-    std::sort(counts.rbegin(), counts.rend());
-    std::cout << "line fetches: " << transitions << " over "
-              << counts.size() << " unique lines ("
-              << counts.size() * 64 / 1024 << " KB touched)\n";
-    for (double q : {0.5, 0.9, 0.99}) {
-        std::uint64_t target =
-            static_cast<std::uint64_t>(q * static_cast<double>(
-                                               transitions));
-        std::uint64_t acc = 0;
-        std::size_t k = 0;
-        while (k < counts.size() && acc < target)
-            acc += counts[k++];
-        std::cout << "  " << q * 100 << "% of fetches from " << k
-                  << " lines (" << k * 64 / 1024 << " KB)\n";
-    }
+    Concentration c =
+        lineConcentration(std::move(counts), {0.5, 0.9, 0.99});
+    std::cout << "line fetches: " << c.total << " over "
+              << c.uniqueLines << " unique lines ("
+              << c.uniqueLines * 64 / 1024 << " KB touched)\n";
+    for (const auto &p : c.points)
+        std::cout << "  " << p.quantile * 100 << "% of fetches from "
+                  << p.lines << " lines (" << p.lines * 64 / 1024
+                  << " KB)\n";
 }
 
 } // namespace

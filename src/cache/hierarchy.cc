@@ -201,12 +201,16 @@ CacheHierarchy::fetchAccess(CoreId core, Addr pc,
         res.ready = now + params_.l1Latency;
         IPREF_TRACE(TraceEventType::CacheHit,
                     static_cast<std::uint16_t>(core), line,
-                    out.firstUseOfPrefetch, traceLevelL1I, now);
+                    out.firstUseOfPrefetch,
+                    traceDetailPack(traceLevelL1I,
+                                    static_cast<std::uint8_t>(transition)), now,
+                    pc);
         return res;
     }
     IPREF_TRACE(TraceEventType::CacheMiss,
                 static_cast<std::uint16_t>(core), line, 0,
-                traceLevelL1I, now);
+                traceDetailPack(traceLevelL1I,
+                                    static_cast<std::uint8_t>(transition)), now, pc);
 
     // Merge with an in-flight fill?
     auto it = inflight_.find(line);
@@ -254,7 +258,9 @@ CacheHierarchy::fetchAccess(CoreId core, Addr pc,
         res.ready = ready;
         IPREF_TRACE(TraceEventType::CacheHit,
                     static_cast<std::uint16_t>(core), line, 0,
-                    traceLevelL2, now);
+                    traceDetailPack(traceLevelL2,
+                                    static_cast<std::uint8_t>(transition)), now,
+                    pc);
         return res;
     }
 
@@ -263,7 +269,8 @@ CacheHierarchy::fetchAccess(CoreId core, Addr pc,
     ++l2iMissByTransition[static_cast<std::size_t>(transition)];
     IPREF_TRACE(TraceEventType::CacheMiss,
                 static_cast<std::uint16_t>(core), line, 0,
-                traceLevelL2, now);
+                traceDetailPack(traceLevelL2,
+                                    static_cast<std::uint8_t>(transition)), now, pc);
     Cycle ready = memory_.read(now, false);
     startFill(line, ready, false, true, true, false, core);
     res.ready = ready;

@@ -139,11 +139,13 @@ DiscontinuityPrefetcher::onDemandFetch(
         c.lineAddr = event.lineAddr +
                      static_cast<Addr>(i) * lineBytes_;
         c.origin = PrefetchOrigin::Sequential;
+        c.triggerAddr = event.lineAddr;
         out.push_back(c);
     }
 
     // Discontinuity component: probe L .. L+N; a hit at L+k with
-    // target T prefetches T .. T+(N-k).
+    // target T prefetches T .. T+(N-k). The probe line is the site
+    // these candidates attribute to (the edge's source).
     for (unsigned k = 0; k <= degree_; ++k) {
         Addr probe = event.lineAddr +
                      static_cast<Addr>(k) * lineBytes_;
@@ -158,6 +160,7 @@ DiscontinuityPrefetcher::onDemandFetch(
             c.origin = j == 0 ? PrefetchOrigin::Discontinuity
                               : PrefetchOrigin::Sequential;
             c.tableIndex = hit->index;
+            c.triggerAddr = probe;
             out.push_back(c);
         }
     }

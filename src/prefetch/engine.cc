@@ -1,5 +1,6 @@
 #include "prefetch/engine.hh"
 
+#include "prefetch/fetch_profiler.hh"
 #include "util/trace_event.hh"
 
 namespace ipref
@@ -35,12 +36,23 @@ PrefetchEngine::credit(Addr lineAddr, Cycle now)
         issueToUse_.add(now - lp.issuedAt);
     if (lp.origin == PrefetchOrigin::Discontinuity)
         prefetcher_->prefetchUseful(lp.tableIndex);
+    IPREF_TRACE(TraceEventType::PrefetchUseful, core_, lineAddr,
+                lp.id, static_cast<std::uint8_t>(lp.origin), now,
+                lp.trigger);
+    if (profiler_)
+        profiler_->prefetchResolved(lp.trigger, lineAddr, lp.origin,
+                                    true);
     origins_.erase(it);
 }
 
 void
 PrefetchEngine::onDemandFetch(const DemandFetchEvent &event)
 {
+    // Site attribution is independent of any prefetcher being
+    // configured: baseline (scheme none) runs profile misses too.
+    if (profiler_ && event.miss)
+        profiler_->demandMiss(event.lineAddr, event.transition);
+
     if (!prefetcher_)
         return;
 
@@ -59,7 +71,7 @@ PrefetchEngine::onDemandFetch(const DemandFetchEvent &event)
 
     scratch_.clear();
     prefetcher_->onDemandFetch(event, scratch_);
-    enqueueCandidates();
+    enqueueCandidates(event.lineAddr);
 }
 
 void
@@ -70,7 +82,7 @@ PrefetchEngine::onBranch(const BranchEvent &event)
         return;
     scratch_.clear();
     wp->onBranch(event, scratch_);
-    enqueueCandidates();
+    enqueueCandidates(hierarchy_.lineOf(event.branchPc));
 }
 
 void
@@ -81,14 +93,16 @@ PrefetchEngine::onFunction(const FunctionEvent &event)
         return;
     scratch_.clear();
     cg->onFunction(event, scratch_);
-    enqueueCandidates();
+    enqueueCandidates(hierarchy_.lineOf(event.sitePc));
 }
 
 void
-PrefetchEngine::enqueueCandidates()
+PrefetchEngine::enqueueCandidates(Addr defaultTrigger)
 {
     candidates += scratch_.size();
-    for (const auto &cand : scratch_) {
+    for (auto &cand : scratch_) {
+        if (cand.triggerAddr == invalidAddr)
+            cand.triggerAddr = defaultTrigger;
         if (history_.contains(cand.lineAddr)) {
             ++filteredRecent;
             continue;
@@ -146,6 +160,10 @@ PrefetchEngine::tick(Cycle now, bool tagPortFree)
             // A previous lifecycle for this line is still unresolved:
             // the new issue supersedes it.
             ++replacedInFlight;
+            IPREF_TRACE(TraceEventType::PrefetchReplaced, core_, line,
+                        it->second.id,
+                        static_cast<std::uint8_t>(it->second.origin),
+                        now, it->second.trigger);
             origins_.erase(it);
         }
         LivePrefetch lp;
@@ -153,8 +171,14 @@ PrefetchEngine::tick(Cycle now, bool tagPortFree)
         lp.tableIndex = cand->tableIndex;
         lp.id = nextPrefetchId_++;
         lp.issuedAt = now;
+        lp.trigger = cand->triggerAddr != invalidAddr
+                         ? hierarchy_.lineOf(cand->triggerAddr)
+                         : invalidAddr;
         IPREF_TRACE(TraceEventType::PrefetchIssue, core_, line, lp.id,
-                    static_cast<std::uint8_t>(cand->origin), now);
+                    static_cast<std::uint8_t>(cand->origin), now,
+                    lp.trigger);
+        if (profiler_)
+            profiler_->prefetchIssued(lp.trigger, line, lp.origin);
         origins_.emplace(line, lp);
         break;
       }
@@ -191,14 +215,33 @@ PrefetchEngine::prefetchedLineEvicted(CoreId core, Addr lineAddr,
     auto it = origins_.find(lineAddr);
     if (!used) {
         ++uselessPrefetches;
-        if (it != origins_.end())
+        if (it != origins_.end()) {
+            IPREF_TRACE(TraceEventType::PrefetchUseless, core_,
+                        lineAddr, it->second.id,
+                        static_cast<std::uint8_t>(it->second.origin),
+                        TraceSink::traceNowHint, it->second.trigger);
+            if (profiler_)
+                profiler_->prefetchResolved(it->second.trigger,
+                                            lineAddr,
+                                            it->second.origin, false);
             origins_.erase(it);
+        } else {
+            IPREF_TRACE(TraceEventType::PrefetchUseless, core_,
+                        lineAddr, 0, 0, TraceSink::traceNowHint);
+        }
     } else if (it != origins_.end()) {
         // Normally credited (and erased) at first use; the line was
         // used but the use event was not observed — close the
         // lifecycle as useful without a latency sample.
         ++uncreditedUseful;
         ++usefulByOrigin[static_cast<std::size_t>(it->second.origin)];
+        IPREF_TRACE(TraceEventType::PrefetchUseful, core_, lineAddr,
+                    it->second.id,
+                    static_cast<std::uint8_t>(it->second.origin),
+                    TraceSink::traceNowHint, it->second.trigger);
+        if (profiler_)
+            profiler_->prefetchResolved(it->second.trigger, lineAddr,
+                                        it->second.origin, true);
         origins_.erase(it);
     }
 }

@@ -30,6 +30,8 @@
 namespace ipref
 {
 
+class FetchProfiler;
+
 /** Per-core prefetch engine. */
 class PrefetchEngine : public PrefetchEvictionListener
 {
@@ -46,6 +48,12 @@ class PrefetchEngine : public PrefetchEvictionListener
 
     /** Is a prefetcher configured? */
     bool enabled() const { return prefetcher_ != nullptr; }
+
+    /**
+     * Attach the chip-wide per-site profiler (nullptr = off). Every
+     * profiler hook is guarded by a single branch on this pointer.
+     */
+    void setProfiler(FetchProfiler *profiler) { profiler_ = profiler; }
 
     /**
      * Observe a demand fetch-line event (from the fetch engine):
@@ -153,17 +161,22 @@ class PrefetchEngine : public PrefetchEvictionListener
         std::uint32_t tableIndex = 0;
         std::uint64_t id = 0;
         Cycle issuedAt = 0;
+        Addr trigger = invalidAddr; //!< generating site (attribution)
     };
 
     /** Credit a used prefetched line back to its predictor entry. */
     void credit(Addr lineAddr, Cycle now);
 
-    /** Enqueue candidates from @p scratch_ through the filters. */
-    void enqueueCandidates();
+    /**
+     * Enqueue candidates from @p scratch_ through the filters.
+     * Candidates without a trigger site are stamped @p defaultTrigger.
+     */
+    void enqueueCandidates(Addr defaultTrigger);
 
     PrefetchConfig cfg_;
     CoreId core_;
     CacheHierarchy &hierarchy_;
+    FetchProfiler *profiler_ = nullptr;
     std::unique_ptr<InstructionPrefetcher> prefetcher_;
     PrefetchQueue queue_;
     FetchHistory history_;

@@ -1,0 +1,77 @@
+#include "prefetch/fetch_profiler.hh"
+
+#include "util/json.hh"
+
+namespace ipref
+{
+
+void
+FetchProfiler::registerStats(StatGroup &group)
+{
+    group.addCounter("misses_attributed", &missesAttributed,
+                     "demand L1I misses seen by the site table");
+    group.addCounter("issues_attributed", &issuesAttributed,
+                     "prefetch issues attributed to a site");
+    group.addFormula(
+        "sites_tracked",
+        [this] { return static_cast<double>(sites_.size()); });
+    group.addFormula(
+        "site_replacements",
+        [this] { return static_cast<double>(sites_.replacements()); },
+        "Space-Saving entries recycled (sketch pressure)");
+    group.addFormula(
+        "edges_tracked",
+        [this] { return static_cast<double>(edges_.size()); });
+    group.addFormula(
+        "edge_replacements",
+        [this] { return static_cast<double>(edges_.replacements()); });
+}
+
+void
+FetchProfiler::dumpJson(std::ostream &os, std::size_t topN) const
+{
+    os << "{\n    \"site_capacity\": " << sites_.capacity()
+       << ",\n    \"site_replacements\": " << sites_.replacements()
+       << ",\n    \"edge_capacity\": " << edges_.capacity()
+       << ",\n    \"edge_replacements\": " << edges_.replacements()
+       << ",\n    \"sites\": [";
+    bool first = true;
+    for (const auto &e : sites_.top(topN)) {
+        os << (first ? "\n" : ",\n")
+           << "      {\"line\": \"" << jsonHex(e.key)
+           << "\", \"touches\": " << e.count
+           << ", \"error\": " << e.error
+           << ", \"misses\": " << e.aux.misses
+           << ", \"pf_issued\": " << e.aux.pfIssued
+           << ", \"pf_useful\": " << e.aux.pfUseful
+           << ", \"pf_useless\": " << e.aux.pfUseless
+           << ", \"by_class\": {";
+        bool firstClass = true;
+        for (std::size_t t = 0; t < e.aux.missByTransition.size();
+             ++t) {
+            if (e.aux.missByTransition[t] == 0)
+                continue;
+            os << (firstClass ? "" : ", ")
+               << jsonString(transitionName(
+                      static_cast<FetchTransition>(t)))
+               << ": " << e.aux.missByTransition[t];
+            firstClass = false;
+        }
+        os << "}}";
+        first = false;
+    }
+    os << (first ? "" : "\n    ") << "],\n    \"edges\": [";
+    first = true;
+    for (const auto &e : edges_.top(topN)) {
+        os << (first ? "\n" : ",\n")
+           << "      {\"src\": \"" << jsonHex(e.key.src)
+           << "\", \"dst\": \"" << jsonHex(e.key.dst)
+           << "\", \"issued\": " << e.aux.issued
+           << ", \"useful\": " << e.aux.useful
+           << ", \"useless\": " << e.aux.useless << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n    ") << "]\n  }";
+}
+
+} // namespace ipref

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Per-site fetch profiler: bounded heavy-hitter attribution of L1I
+ * demand misses and prefetch outcomes to the code sites (miss
+ * PC-lines) and discontinuity edges (source-line → target-line) that
+ * cause them.
+ *
+ * Two Space-Saving sketches (util/topk.hh, O(K) memory each):
+ *
+ *  - the *site* table, keyed by fetch line, counting demand misses
+ *    per CTI transition class plus prefetch issues / useful / useless
+ *    attributed to candidates generated at that site;
+ *  - the *edge* table, keyed by (trigger-line, target-line) pairs of
+ *    discontinuity-origin prefetches, counting issues and outcomes —
+ *    the per-edge accuracy view the paper's Fig. 9 aggregates away.
+ *
+ * The profiler is wired by System when SystemConfig::profileSites is
+ * non-zero; every call site guards with one `if (profiler_)` branch,
+ * so a disabled profiler costs a single predictable branch (same
+ * budget as IPREF_TRACE with the sink off).
+ */
+
+#ifndef IPREF_PREFETCH_FETCH_PROFILER_HH
+#define IPREF_PREFETCH_FETCH_PROFILER_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <utility>
+
+#include "prefetch/prefetcher.hh"
+#include "trace/record.hh"
+#include "util/stats.hh"
+#include "util/topk.hh"
+
+namespace ipref
+{
+
+/** Heavy-hitter attribution of misses and prefetches to code sites. */
+class FetchProfiler
+{
+  public:
+    /** Per-site attribution record (exact over tracked residency). */
+    struct SiteCounts
+    {
+        /** Demand L1I misses at this line, by transition class. */
+        std::array<std::uint64_t,
+                   static_cast<std::size_t>(
+                       FetchTransition::NumTransitions)>
+            missByTransition{};
+        std::uint64_t misses = 0;
+        /** Prefetches whose generating site is this line. */
+        std::uint64_t pfIssued = 0;
+        std::uint64_t pfUseful = 0;
+        std::uint64_t pfUseless = 0;
+    };
+
+    /** Per-discontinuity-edge prefetch outcome record. */
+    struct EdgeCounts
+    {
+        std::uint64_t issued = 0;
+        std::uint64_t useful = 0;
+        std::uint64_t useless = 0;
+    };
+
+    struct EdgeKey
+    {
+        Addr src = 0;
+        Addr dst = 0;
+        bool operator==(const EdgeKey &o) const
+        {
+            return src == o.src && dst == o.dst;
+        }
+    };
+
+    struct EdgeKeyHash
+    {
+        std::size_t
+        operator()(const EdgeKey &k) const
+        {
+            // splitmix-style combine; both members are line-aligned.
+            std::uint64_t h = k.src * 0x9e3779b97f4a7c15ull;
+            h ^= (k.dst + 0x7f4a7c15u) + (h << 6) + (h >> 2);
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    /**
+     * @param siteEntries heavy-hitter capacity of the site table
+     * @param edgeEntries capacity of the edge table (0 = same)
+     */
+    explicit FetchProfiler(std::size_t siteEntries,
+                           std::size_t edgeEntries = 0)
+        : sites_(siteEntries),
+          edges_(edgeEntries ? edgeEntries : siteEntries)
+    {}
+
+    /** A demand L1I miss at @p line entered via @p transition. */
+    void
+    demandMiss(Addr line, FetchTransition transition)
+    {
+        ++missesAttributed;
+        SiteCounts *s = sites_.touch(line);
+        ++s->misses;
+        ++s->missByTransition[static_cast<std::size_t>(transition)];
+    }
+
+    /** A prefetch generated at site @p trigger was issued. */
+    void
+    prefetchIssued(Addr trigger, Addr target, PrefetchOrigin origin)
+    {
+        ++issuesAttributed;
+        ++sites_.touch(trigger)->pfIssued;
+        if (origin == PrefetchOrigin::Discontinuity)
+            ++edges_.touch(EdgeKey{trigger, target})->issued;
+    }
+
+    /** The prefetch generated at @p trigger resolved (used or not). */
+    void
+    prefetchResolved(Addr trigger, Addr target, PrefetchOrigin origin,
+                     bool useful)
+    {
+        SiteCounts *s = sites_.touch(trigger, 0);
+        if (useful)
+            ++s->pfUseful;
+        else
+            ++s->pfUseless;
+        if (origin == PrefetchOrigin::Discontinuity) {
+            EdgeCounts *e = edges_.touch(EdgeKey{trigger, target}, 0);
+            if (useful)
+                ++e->useful;
+            else
+                ++e->useless;
+        }
+    }
+
+    const SpaceSaving<Addr, SiteCounts> &sites() const { return sites_; }
+    const SpaceSaving<EdgeKey, EdgeCounts, EdgeKeyHash> &
+    edges() const
+    {
+        return edges_;
+    }
+
+    /** Aggregate sketch-health counters for the StatGroup tree. */
+    void registerStats(StatGroup &group);
+
+    /**
+     * Top-N report as one JSON object:
+     *   {"sites": [...], "edges": [...], "site_replacements": N, ...}
+     */
+    void dumpJson(std::ostream &os, std::size_t topN = 32) const;
+
+    // Registered stats (updated by the hooks above).
+    Counter missesAttributed; //!< demand misses seen by the profiler
+    Counter issuesAttributed; //!< prefetch issues seen by the profiler
+
+  private:
+    SpaceSaving<Addr, SiteCounts> sites_;
+    SpaceSaving<EdgeKey, EdgeCounts, EdgeKeyHash> edges_;
+};
+
+} // namespace ipref
+
+#endif // IPREF_PREFETCH_FETCH_PROFILER_HH

@@ -61,6 +61,14 @@ struct SystemConfig
      */
     std::uint64_t statsIntervalInstrs = 0;
 
+    /**
+     * Per-site fetch profiling: track the K hottest miss sites and
+     * discontinuity edges in a chip-wide heavy-hitter sketch
+     * (0 = disabled; see prefetch/fetch_profiler.hh). Attribution
+     * lands in the JSON report's "profiler" section.
+     */
+    unsigned profileSites = 0;
+
     /** Display name of the workload set ("DB", ..., "Mixed"). */
     std::string workloadSetName() const;
 

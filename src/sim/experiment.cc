@@ -78,6 +78,8 @@ makeConfig(const RunSpec &spec)
     cfg.prefetch.targetWays = spec.targetWays;
 
     cfg.statsIntervalInstrs = g_observability.intervalInstrs;
+    cfg.profileSites =
+        static_cast<unsigned>(g_observability.profileSites);
 
     double scale = spec.instrScale;
     if (spec.functional) {

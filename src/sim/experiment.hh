@@ -74,10 +74,15 @@ struct ObservabilityOptions
     /**
      * Enable the global TraceSink with this ring capacity (0 = off).
      * The captured tail of the most recent run is written to
-     * tracePath (JSON lines) after each runSpec().
+     * tracePath (JSON lines) after each runSpec(). The ring is
+     * cleared at the warm-up / measure boundary, so the retained
+     * events cover the same measurement window as the counters.
      */
     std::uint64_t traceCapacity = 0;
     std::string tracePath = "trace_events.jsonl";
+
+    /** SystemConfig::profileSites for every run (0 = off). */
+    std::uint64_t profileSites = 0;
 };
 
 /** Install process-wide observability options (resets JSON state). */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "prefetch/fetch_profiler.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -111,6 +112,14 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
         engines_.push_back(std::make_unique<PrefetchEngine>(
             cfg_.prefetch, c, *hierarchy_));
 
+    // Chip-wide per-site attribution (optional; one-branch overhead
+    // in the engines when off).
+    if (cfg_.profileSites > 0) {
+        profiler_ = std::make_unique<FetchProfiler>(cfg_.profileSites);
+        for (auto &e : engines_)
+            e->setProfiler(profiler_.get());
+    }
+
     // Core c starts on walker c; a single time-sliced core starts on
     // slice 0 and rotates during run().
     if (cfg_.functional) {
@@ -143,6 +152,12 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
         auto g = std::make_unique<StatGroup>(
             "core." + std::to_string(c));
         cores_[c]->registerStats(*g);
+        statsRoot_->addChild(g.get());
+        statGroups_.push_back(std::move(g));
+    }
+    if (profiler_) {
+        auto g = std::make_unique<StatGroup>("profiler");
+        profiler_->registerStats(*g);
         statsRoot_->addChild(g.get());
         statGroups_.push_back(std::move(g));
     }
@@ -350,6 +365,11 @@ System::beginMeasurement()
     // Counters restart from zero (collect() then reads measurement
     // deltas directly — no hand-kept start snapshot).
     statsRoot_->resetAll();
+    // Align the event trace with the counters: the retained ring
+    // covers the measurement window only, so offline analysis of the
+    // trace is directly comparable to the reported counters.
+    if (TraceSink::global().enabled())
+        TraceSink::global().clear();
     measureInstrBase_ = progress();
     measureCycleBase_ = now_;
     if (!cfg_.functional && !cores_.empty())
@@ -485,6 +505,7 @@ System::dumpJson(std::ostream &os) const
        << "    \"measure_instrs\": " << cfg_.measureInstrs << ",\n"
        << "    \"stats_interval_instrs\": " << cfg_.statsIntervalInstrs
        << ",\n"
+       << "    \"profile_sites\": " << cfg_.profileSites << ",\n"
        << "    \"base_seed\": " << cfg_.baseSeed << "\n"
        << "  },\n";
 
@@ -567,6 +588,13 @@ System::dumpJson(std::ostream &os) const
        << "    \"measure_instrs_per_sec\": "
        << jsonNumber(profile_.measureInstrsPerSec()) << "\n"
        << "  },\n";
+
+    // --- per-site heavy-hitter attribution (when enabled) -------------
+    if (profiler_) {
+        os << "  \"profiler\": ";
+        profiler_->dumpJson(os);
+        os << ",\n";
+    }
 
     // --- tracing summary (only meaningful when enabled) ---------------
     const TraceSink &sink = TraceSink::global();

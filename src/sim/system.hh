@@ -18,6 +18,8 @@
 namespace ipref
 {
 
+class FetchProfiler;
+
 /** Wall-clock / throughput profile of the most recent run(). */
 struct PhaseProfile
 {
@@ -79,6 +81,10 @@ class System
 
     CacheHierarchy &hierarchy() { return *hierarchy_; }
     PrefetchEngine &engine(CoreId core) { return *engines_[core]; }
+
+    /** Per-site fetch profiler (nullptr when cfg.profileSites == 0). */
+    FetchProfiler *profiler() { return profiler_.get(); }
+    const FetchProfiler *profiler() const { return profiler_.get(); }
     OoOCore &cpuCore(CoreId core) { return *cores_[core]; }
     Workload &workload(std::size_t i) { return *workloads_[i]; }
     std::size_t workloadCount() const { return workloads_.size(); }
@@ -123,6 +129,7 @@ class System
     std::vector<std::unique_ptr<Workload>> workloads_;
     std::vector<std::unique_ptr<PrefetchEngine>> engines_;
     std::vector<std::unique_ptr<OoOCore>> cores_;
+    std::unique_ptr<FetchProfiler> profiler_;
 
     /** Functional-mode per-core fetch state. */
     struct FuncState

@@ -50,6 +50,11 @@ class Log2Histogram
     /** Approximate p-quantile from bucket boundaries. */
     std::uint64_t quantile(double q) const;
 
+    // Conventional latency percentiles, as used by the JSON dumps.
+    std::uint64_t p50() const { return quantile(0.5); }
+    std::uint64_t p95() const { return quantile(0.95); }
+    std::uint64_t p99() const { return quantile(0.99); }
+
     /** Pretty-print non-empty buckets. */
     void print(std::ostream &os, const std::string &label) const;
 

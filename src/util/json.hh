@@ -1,8 +1,10 @@
 /**
  * @file
- * Minimal JSON emission helpers shared by the stats/tracing writers.
- * Emission only — the simulator never parses JSON; tests parse the
- * output with their own validator to keep the dependency surface zero.
+ * Minimal JSON support shared by the stats/tracing writers and the
+ * offline analysis toolchain: emission helpers plus a small
+ * recursive-descent parser (`parseJson`). The simulator hot paths
+ * only emit; parsing is used by `ipref_analyze`, the examples and the
+ * tests — keeping the dependency surface zero either way.
  */
 
 #ifndef IPREF_UTIL_JSON_HH
@@ -11,8 +13,11 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace ipref
 {
@@ -71,6 +76,304 @@ jsonNumber(double v)
     os.precision(12);
     os << v;
     return os.str();
+}
+
+// --- parsing ---------------------------------------------------------
+
+/**
+ * A parsed JSON value. Object keys are ordered (std::map) so dumps of
+ * parsed documents are deterministic.
+ */
+struct JsonValue
+{
+    enum Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;          //!< Array elements
+    std::map<std::string, JsonValue> fields; //!< Object members
+
+    bool isNull() const { return kind == Null; }
+
+    bool has(const std::string &key) const { return fields.count(key); }
+
+    /** Object member access; throws std::runtime_error if absent. */
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        auto it = fields.find(key);
+        if (it == fields.end())
+            throw std::runtime_error("JSON: missing key: " + key);
+        return it->second;
+    }
+
+    /** Member @p key as a number, or @p def when absent/null. */
+    double
+    numberOr(const std::string &key, double def) const
+    {
+        auto it = fields.find(key);
+        return it == fields.end() || it->second.kind != Number
+                   ? def
+                   : it->second.number;
+    }
+
+    /** Member @p key as a string, or @p def when absent. */
+    std::string
+    stringOr(const std::string &key, const std::string &def) const
+    {
+        auto it = fields.find(key);
+        return it == fields.end() || it->second.kind != String
+                   ? def
+                   : it->second.str;
+    }
+
+    /**
+     * This value as a uint64: plain numbers round-trip below 2^53;
+     * "0x..." strings (the writers' address encoding) parse exactly.
+     */
+    std::uint64_t
+    asUint() const
+    {
+        if (kind == Number)
+            return static_cast<std::uint64_t>(number);
+        if (kind == String && str.rfind("0x", 0) == 0)
+            return std::stoull(str.substr(2), nullptr, 16);
+        throw std::runtime_error("JSON: not a uint: " + str);
+    }
+};
+
+namespace detail
+{
+
+/** Recursive-descent JSON parser over a string view of the input. */
+class JsonParser
+{
+  public:
+    JsonParser(const char *s, std::size_t n) : s_(s), n_(n) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != n_)
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("JSON error at offset " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < n_ &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= n_)
+            fail("unexpected end");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    void
+    literal(const char *word)
+    {
+        skipWs();
+        for (const char *p = word; *p; ++p, ++pos_)
+            if (pos_ >= n_ || s_[pos_] != *p)
+                fail(std::string("bad literal (expected ") + word +
+                     ")");
+    }
+
+    JsonValue
+    value()
+    {
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': {
+            literal("true");
+            JsonValue v;
+            v.kind = JsonValue::Bool;
+            v.boolean = true;
+            return v;
+          }
+          case 'f': {
+            literal("false");
+            JsonValue v;
+            v.kind = JsonValue::Bool;
+            return v;
+          }
+          case 'n':
+            literal("null");
+            return JsonValue{};
+          default:
+            return number();
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            JsonValue key = string();
+            expect(':');
+            v.fields[key.str] = value();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue
+    string()
+    {
+        JsonValue v;
+        v.kind = JsonValue::String;
+        expect('"');
+        while (pos_ < n_ && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c != '\\') {
+                v.str += c;
+                continue;
+            }
+            if (pos_ >= n_)
+                fail("bad escape");
+            char e = s_[pos_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/': v.str += e; break;
+              case 'n': v.str += '\n'; break;
+              case 't': v.str += '\t'; break;
+              case 'r': v.str += '\r'; break;
+              case 'b': v.str += '\b'; break;
+              case 'f': v.str += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > n_)
+                    fail("bad \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u digit");
+                }
+                // The writers only escape control characters; decode
+                // the BMP into UTF-8 for general inputs.
+                if (code < 0x80) {
+                    v.str += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    v.str += static_cast<char>(0xc0 | (code >> 6));
+                    v.str += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    v.str += static_cast<char>(0xe0 | (code >> 12));
+                    v.str += static_cast<char>(0x80 |
+                                               ((code >> 6) & 0x3f));
+                    v.str += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+        if (pos_ >= n_)
+            fail("unterminated string");
+        ++pos_; // closing quote
+        return v;
+    }
+
+    JsonValue
+    number()
+    {
+        skipWs();
+        std::size_t start = pos_;
+        while (pos_ < n_ &&
+               ((s_[pos_] >= '0' && s_[pos_] <= '9') ||
+                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E'))
+            ++pos_;
+        if (start == pos_)
+            fail("bad number");
+        JsonValue v;
+        v.kind = JsonValue::Number;
+        v.number = std::stod(std::string(s_ + start, pos_ - start));
+        return v;
+    }
+
+    const char *s_;
+    std::size_t n_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace detail
+
+/** Parse one complete JSON document; throws std::runtime_error. */
+inline JsonValue
+parseJson(const std::string &text)
+{
+    return detail::JsonParser(text.data(), text.size()).parse();
 }
 
 } // namespace ipref

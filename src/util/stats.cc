@@ -109,8 +109,10 @@ StatGroup::dumpJson(std::ostream &os, int indent) const
            << ", \"sum\": " << hist.sum()
            << ", \"mean\": " << jsonNumber(hist.mean())
            << ", \"max\": " << hist.max()
-           << ", \"p50\": " << hist.quantile(0.5)
-           << ", \"p90\": " << hist.quantile(0.9) << "}";
+           << ", \"p50\": " << hist.p50()
+           << ", \"p90\": " << hist.quantile(0.9)
+           << ", \"p95\": " << hist.p95()
+           << ", \"p99\": " << hist.p99() << "}";
         first = false;
     }
     if (!first)

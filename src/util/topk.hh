@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Bounded heavy-hitter tracking: the Space-Saving sketch of Metwally,
+ * Agrawal & El Abbadi (ICDT'05), extended with a per-entry auxiliary
+ * payload.
+ *
+ * The sketch keeps at most K (key, count) entries in O(K) memory.
+ * A touch of a tracked key increments its count; a touch of an
+ * untracked key when the table is full replaces the minimum-count
+ * entry, inheriting its count as the new entry's overestimation
+ * `error`. Any key whose true frequency exceeds N/K (N = total
+ * touches) is guaranteed to be resident, which is exactly the
+ * property per-site miss/prefetch attribution needs: the hot sites
+ * are never lost, no matter how large the code footprint.
+ *
+ * The auxiliary payload (per-site class counters, per-edge
+ * usefulness counts, ...) is reset when an entry is recycled, so aux
+ * values are exact *for the tracked residency window* while `count`
+ * carries the sketch's usual [count - error, count] bound.
+ */
+
+#ifndef IPREF_UTIL_TOPK_HH
+#define IPREF_UTIL_TOPK_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace ipref
+{
+
+/**
+ * Space-Saving sketch over keys of type @p Key with payload @p Aux.
+ *
+ * @tparam Key  key type (hashable, equality-comparable)
+ * @tparam Aux  default-constructible per-entry payload
+ * @tparam Hash hash functor for Key
+ */
+template <typename Key, typename Aux, typename Hash = std::hash<Key>>
+class SpaceSaving
+{
+  public:
+    struct Entry
+    {
+        Key key{};
+        std::uint64_t count = 0; //!< upper bound on the true frequency
+        std::uint64_t error = 0; //!< count inherited at replacement
+        Aux aux{};
+    };
+
+    explicit SpaceSaving(std::size_t capacity)
+        : capacity_(capacity ? capacity : 1)
+    {
+        entries_.reserve(capacity_);
+        index_.reserve(capacity_ * 2);
+    }
+
+    /**
+     * Count one touch (weight @p w) of @p key and return its payload
+     * for the caller to update. Never returns nullptr.
+     */
+    Aux *
+    touch(const Key &key, std::uint64_t w = 1)
+    {
+        touches_ += w;
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            Entry &e = entries_[it->second];
+            e.count += w;
+            return &e.aux;
+        }
+        if (entries_.size() < capacity_) {
+            index_.emplace(key, entries_.size());
+            entries_.push_back(Entry{key, w, 0, Aux{}});
+            return &entries_.back().aux;
+        }
+        // Replace the minimum-count entry (linear scan: replacement
+        // only happens on untracked keys, and K is small).
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < entries_.size(); ++i)
+            if (entries_[i].count < entries_[victim].count)
+                victim = i;
+        Entry &e = entries_[victim];
+        index_.erase(e.key);
+        ++replacements_;
+        e.error = e.count;
+        e.count += w;
+        e.key = key;
+        e.aux = Aux{};
+        index_.emplace(key, victim);
+        return &e.aux;
+    }
+
+    /** Payload of @p key if tracked, else nullptr (no counting). */
+    const Aux *
+    find(const Key &key) const
+    {
+        auto it = index_.find(key);
+        return it == index_.end() ? nullptr
+                                  : &entries_[it->second].aux;
+    }
+
+    /** Tracked entries, highest count first. */
+    std::vector<Entry>
+    top(std::size_t n = ~std::size_t{0}) const
+    {
+        std::vector<Entry> out(entries_);
+        std::sort(out.begin(), out.end(),
+                  [](const Entry &a, const Entry &b) {
+                      return a.count > b.count;
+                  });
+        if (out.size() > n)
+            out.resize(n);
+        return out;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Total touch weight observed (tracked or not). */
+    std::uint64_t touches() const { return touches_; }
+
+    /** Entries recycled to admit new keys (sketch pressure). */
+    std::uint64_t replacements() const { return replacements_; }
+
+    /**
+     * Guaranteed-frequency floor: any key with true frequency above
+     * touches()/capacity() is currently tracked.
+     */
+    std::uint64_t
+    guaranteedFloor() const
+    {
+        return touches_ / capacity_;
+    }
+
+    void
+    clear()
+    {
+        entries_.clear();
+        index_.clear();
+        touches_ = 0;
+        replacements_ = 0;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::vector<Entry> entries_;
+    std::unordered_map<Key, std::size_t, Hash> index_;
+    std::uint64_t touches_ = 0;
+    std::uint64_t replacements_ = 0;
+};
+
+} // namespace ipref
+
+#endif // IPREF_UTIL_TOPK_HH

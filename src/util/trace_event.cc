@@ -16,6 +16,10 @@ traceEventName(TraceEventType type)
       case TraceEventType::PrefetchIssue: return "prefetch_issue";
       case TraceEventType::PrefetchDrop: return "prefetch_drop";
       case TraceEventType::PrefetchFill: return "prefetch_fill";
+      case TraceEventType::PrefetchUseful: return "prefetch_useful";
+      case TraceEventType::PrefetchUseless: return "prefetch_useless";
+      case TraceEventType::PrefetchReplaced:
+        return "prefetch_replaced";
       case TraceEventType::QueueHoist: return "queue_hoist";
       case TraceEventType::QueueInvalidate: return "queue_invalidate";
       case TraceEventType::DiscAlloc: return "disc_alloc";
@@ -72,10 +76,16 @@ TraceSink::writeJsonLines(std::ostream &os) const
 {
     for (const TraceEvent &e : snapshot()) {
         os << "{\"cycle\":" << e.cycle << ",\"type\":\""
-           << traceEventName(e.type) << "\"";
+           << traceEventName(e.type) << "\",\"core\":";
+        // Uniform schema: events without a core context carry an
+        // explicit null, never the 0xffff sentinel.
         if (e.core != traceNoCore)
-            os << ",\"core\":" << e.core;
+            os << e.core;
+        else
+            os << "null";
         os << ",\"addr\":\"" << jsonHex(e.addr) << "\"";
+        if (e.pc)
+            os << ",\"pc\":\"" << jsonHex(e.pc) << "\"";
         if (e.arg)
             os << ",\"arg\":" << e.arg;
         if (e.detail)

@@ -27,16 +27,19 @@
 namespace ipref
 {
 
-/** Event taxonomy (see DESIGN.md "Observability"). */
+/** Event taxonomy (schema reference: DESIGN.md "Observability"). */
 enum class TraceEventType : std::uint8_t
 {
-    CacheHit,        //!< demand hit (detail = cache level)
-    CacheMiss,       //!< demand miss (detail = cache level)
+    CacheHit,        //!< demand hit (detail = level [+transition])
+    CacheMiss,       //!< demand miss (detail = level [+transition])
     CacheFill,       //!< demand fill installed (detail = level)
     CacheEvict,      //!< line evicted (arg bit0 = used, bit1 = prefetched)
     PrefetchIssue,   //!< fill started (arg = prefetch id, detail = origin)
     PrefetchDrop,    //!< candidate not issued (detail = DropReason)
     PrefetchFill,    //!< prefetch fill installed into an L1I
+    PrefetchUseful,  //!< lifecycle resolved useful (arg = id, detail = origin)
+    PrefetchUseless, //!< evicted unused (arg = id, detail = origin)
+    PrefetchReplaced, //!< lifecycle superseded by a re-issue (arg = old id)
     QueueHoist,      //!< waiting duplicate hoisted to the queue head
     QueueInvalidate, //!< demand fetch invalidated a waiting prefetch
     DiscAlloc,       //!< discontinuity-table allocation (arg = target)
@@ -68,12 +71,40 @@ enum : std::uint8_t
 /** Core id used when the emitting component has no core context. */
 inline constexpr std::uint16_t traceNoCore = 0xffff;
 
-/** One structured simulator event (32 bytes). */
+/**
+ * Cache-event `detail` packing: cache level in the low nibble, the
+ * fetch transition *into* the line (when known, instruction side
+ * only) as transition+1 in the high nibble — 0 means "no transition
+ * attached" (data-side events).
+ */
+inline constexpr std::uint8_t
+traceDetailPack(std::uint8_t level, std::uint8_t transition)
+{
+    return static_cast<std::uint8_t>((level & 0x0f) |
+                                     ((transition + 1) << 4));
+}
+
+/** Cache level from a packed cache-event `detail`. */
+inline constexpr std::uint8_t
+traceDetailLevel(std::uint8_t detail)
+{
+    return detail & 0x0f;
+}
+
+/** Transition from a packed `detail`, or -1 when none is attached. */
+inline constexpr int
+traceDetailTransition(std::uint8_t detail)
+{
+    return (detail >> 4) == 0 ? -1 : (detail >> 4) - 1;
+}
+
+/** One structured simulator event (40 bytes). */
 struct TraceEvent
 {
     Cycle cycle = 0;
     Addr addr = 0;
     std::uint64_t arg = 0;
+    Addr pc = 0; //!< triggering fetch PC / generating site (0 = none)
     std::uint16_t core = traceNoCore;
     TraceEventType type = TraceEventType::CacheHit;
     std::uint8_t detail = 0;
@@ -103,7 +134,7 @@ class TraceSink
     void
     record(TraceEventType type, std::uint16_t core, Addr addr,
            std::uint64_t arg = 0, std::uint8_t detail = 0,
-           Cycle cycle = traceNowHint)
+           Cycle cycle = traceNowHint, Addr pc = 0)
     {
         if (!enabled_)
             return;
@@ -111,6 +142,7 @@ class TraceSink
         e.cycle = cycle == traceNowHint ? now_ : cycle;
         e.addr = addr;
         e.arg = arg;
+        e.pc = pc;
         e.core = core;
         e.type = type;
         e.detail = detail;

@@ -7,13 +7,12 @@
 
 #include <gtest/gtest.h>
 
-#include <cctype>
-#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "util/json.hh"
 #include "util/stats.hh"
 #include "util/trace_event.hh"
 
@@ -21,252 +20,6 @@ using namespace ipref;
 
 namespace
 {
-
-// --- minimal JSON parser (test-only) ---------------------------------
-// Just enough to round-trip what the simulator emits: objects,
-// arrays, strings with the escapes jsonEscape produces, numbers and
-// literals. Throws std::runtime_error on malformed input.
-
-struct JsonValue
-{
-    enum Kind { Null, Bool, Number, String, Array, Object } kind = Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string str;
-    std::vector<JsonValue> items;
-    std::map<std::string, JsonValue> fields;
-
-    bool has(const std::string &key) const { return fields.count(key); }
-
-    const JsonValue &
-    at(const std::string &key) const
-    {
-        auto it = fields.find(key);
-        if (it == fields.end())
-            throw std::runtime_error("missing key: " + key);
-        return it->second;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : s_(text) {}
-
-    JsonValue
-    parse()
-    {
-        JsonValue v = value();
-        skipWs();
-        if (pos_ != s_.size())
-            fail("trailing garbage");
-        return v;
-    }
-
-  private:
-    [[noreturn]] void
-    fail(const std::string &what)
-    {
-        throw std::runtime_error("JSON error at offset " +
-                                 std::to_string(pos_) + ": " + what);
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-
-    char
-    peek()
-    {
-        skipWs();
-        if (pos_ >= s_.size())
-            fail("unexpected end");
-        return s_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        ++pos_;
-    }
-
-    JsonValue
-    value()
-    {
-        switch (peek()) {
-          case '{':
-            return object();
-          case '[':
-            return array();
-          case '"':
-            return string();
-          case 't':
-          case 'f':
-            return boolean();
-          case 'n':
-            literal("null");
-            return JsonValue{};
-          default:
-            return number();
-        }
-    }
-
-    JsonValue
-    object()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Object;
-        expect('{');
-        if (peek() == '}') {
-            ++pos_;
-            return v;
-        }
-        while (true) {
-            JsonValue key = string();
-            expect(':');
-            v.fields[key.str] = value();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect('}');
-            return v;
-        }
-    }
-
-    JsonValue
-    array()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Array;
-        expect('[');
-        if (peek() == ']') {
-            ++pos_;
-            return v;
-        }
-        while (true) {
-            v.items.push_back(value());
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect(']');
-            return v;
-        }
-    }
-
-    JsonValue
-    string()
-    {
-        JsonValue v;
-        v.kind = JsonValue::String;
-        expect('"');
-        while (pos_ < s_.size() && s_[pos_] != '"') {
-            char c = s_[pos_++];
-            if (c != '\\') {
-                v.str += c;
-                continue;
-            }
-            if (pos_ >= s_.size())
-                fail("bad escape");
-            char e = s_[pos_++];
-            switch (e) {
-              case '"':
-              case '\\':
-              case '/':
-                v.str += e;
-                break;
-              case 'n':
-                v.str += '\n';
-                break;
-              case 't':
-                v.str += '\t';
-                break;
-              case 'r':
-                v.str += '\r';
-                break;
-              case 'b':
-                v.str += '\b';
-                break;
-              case 'f':
-                v.str += '\f';
-                break;
-              case 'u': {
-                if (pos_ + 4 > s_.size())
-                    fail("bad \\u escape");
-                unsigned code = static_cast<unsigned>(
-                    std::stoul(s_.substr(pos_, 4), nullptr, 16));
-                pos_ += 4;
-                v.str += static_cast<char>(code & 0x7f);
-                break;
-              }
-              default:
-                fail("unknown escape");
-            }
-        }
-        if (pos_ >= s_.size())
-            fail("unterminated string");
-        ++pos_; // closing quote
-        return v;
-    }
-
-    JsonValue
-    number()
-    {
-        skipWs();
-        std::size_t start = pos_;
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-                s_[pos_] == '-' || s_[pos_] == '+' ||
-                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E'))
-            ++pos_;
-        if (start == pos_)
-            fail("bad number");
-        JsonValue v;
-        v.kind = JsonValue::Number;
-        v.number = std::stod(s_.substr(start, pos_ - start));
-        return v;
-    }
-
-    JsonValue
-    boolean()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Bool;
-        if (s_[pos_] == 't') {
-            literal("true");
-            v.boolean = true;
-        } else {
-            literal("false");
-        }
-        return v;
-    }
-
-    void
-    literal(const char *word)
-    {
-        skipWs();
-        std::string w(word);
-        if (s_.compare(pos_, w.size(), w) != 0)
-            fail("bad literal");
-        pos_ += w.size();
-    }
-
-    const std::string &s_;
-    std::size_t pos_ = 0;
-};
-
-JsonValue
-parseJson(const std::string &text)
-{
-    return JsonParser(text).parse();
-}
 
 /** RAII reset so tests don't leak trace/observability state. */
 struct ObservabilityGuard
@@ -338,7 +91,7 @@ TEST(TraceSink, JsonLinesRoundTrip)
     TraceSink sink;
     sink.enable(8);
     sink.record(TraceEventType::PrefetchIssue, 2, 0xdeadbeef, 17, 1,
-                1234);
+                1234, 0x4000);
     sink.record(TraceEventType::CacheEvict, traceNoCore, 0x40, 3, 3,
                 1235);
     std::ostringstream os;
@@ -357,7 +110,33 @@ TEST(TraceSink, JsonLinesRoundTrip)
     EXPECT_EQ(parsed[0].at("arg").number, 17);
     EXPECT_EQ(parsed[0].at("core").number, 2);
     EXPECT_EQ(parsed[0].at("detail").number, 1);
+    EXPECT_EQ(parsed[0].at("pc").asUint(), 0x4000u);
     EXPECT_EQ(parsed[1].at("type").str, "cache_evict");
+
+    // Events without a core context carry an explicit null (uniform
+    // schema — consumers never see the 0xffff sentinel).
+    ASSERT_TRUE(parsed[1].has("core"));
+    EXPECT_TRUE(parsed[1].at("core").isNull());
+    // pc is omitted when not recorded.
+    EXPECT_FALSE(parsed[1].has("pc"));
+}
+
+TEST(TraceEventDetail, PackRoundTrips)
+{
+    for (std::uint8_t level :
+         {traceLevelL1I, traceLevelL1D, traceLevelL2}) {
+        for (std::uint8_t t = 0;
+             t < static_cast<std::uint8_t>(
+                     FetchTransition::NumTransitions);
+             ++t) {
+            std::uint8_t d = traceDetailPack(level, t);
+            EXPECT_EQ(traceDetailLevel(d), level);
+            EXPECT_EQ(traceDetailTransition(d), static_cast<int>(t));
+        }
+        // Bare levels (data-side events) carry no transition.
+        EXPECT_EQ(traceDetailLevel(level), level);
+        EXPECT_EQ(traceDetailTransition(level), -1);
+    }
 }
 
 // --- stats JSON ------------------------------------------------------

@@ -186,6 +186,45 @@ TEST(Histogram, Quantile)
     EXPECT_GE(h.quantile(0.99), 512u);
 }
 
+TEST(Histogram, QuantileEmpty)
+{
+    Log2Histogram h;
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.quantile(1.0), 0u);
+    EXPECT_EQ(h.p50(), 0u);
+    EXPECT_EQ(h.p95(), 0u);
+    EXPECT_EQ(h.p99(), 0u);
+}
+
+TEST(Histogram, QuantileSingleBucket)
+{
+    Log2Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.add(7); // all samples land in the (4,8] bucket
+    // Every quantile strictly below 1 resolves to that bucket's
+    // upper boundary.
+    EXPECT_EQ(h.quantile(0.0), 8u);
+    EXPECT_EQ(h.p50(), 8u);
+    EXPECT_EQ(h.p95(), 8u);
+    EXPECT_EQ(h.p99(), 8u);
+    // q = 1: the target rank is past every bucket — the exact max.
+    EXPECT_EQ(h.quantile(1.0), 7u);
+}
+
+TEST(Histogram, QuantileBounds)
+{
+    Log2Histogram h;
+    h.add(1);
+    h.add(1000);
+    // q=0 returns the first occupied bucket's boundary; q=1 the max.
+    EXPECT_EQ(h.quantile(0.0), 1u);
+    EXPECT_EQ(h.quantile(1.0), 1000u);
+    EXPECT_EQ(h.p50(), h.quantile(0.5));
+    EXPECT_EQ(h.p95(), h.quantile(0.95));
+    EXPECT_EQ(h.p99(), h.quantile(0.99));
+}
+
 namespace
 {
 
