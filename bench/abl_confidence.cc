@@ -17,26 +17,38 @@ main(int argc, char **argv)
 {
     BenchContext ctx(argc, argv, 0.4);
 
+    const std::vector<WorkloadKind> kinds = {WorkloadKind::DB,
+                                             WorkloadKind::JAPP};
+
+    // One batch: per workload, the no-prefetch baseline then the
+    // tag-probe and confidence variants.
+    std::vector<RunSpec> specs;
+    for (WorkloadKind k : kinds) {
+        RunSpec base_spec;
+        base_spec.cmp = true;
+        base_spec.workloads = {k};
+        base_spec.instrScale = ctx.scale;
+        specs.push_back(base_spec);
+        for (bool confidence : {false, true}) {
+            RunSpec spec = base_spec;
+            spec.scheme = PrefetchScheme::Discontinuity;
+            spec.bypassL2 = true;
+            spec.useConfidenceFilter = confidence;
+            specs.push_back(spec);
+        }
+    }
+    std::vector<SimResults> results = ctx.run(specs);
+
     Table t("Ablation: tag probing vs confidence filter "
             "(discontinuity + bypass, 4-way CMP)");
     t.header({"Workload", "mode", "tag probes/1k", "suppressed/1k",
               "issued/1k", "coverage", "accuracy", "speedup"});
 
-    for (WorkloadKind k : {WorkloadKind::DB, WorkloadKind::JAPP}) {
-        RunSpec base_spec;
-        base_spec.cmp = true;
-        base_spec.workloads = {k};
-        base_spec.instrScale = ctx.scale;
-        SimResults base = runSpec(base_spec);
-
+    std::size_t next = 0;
+    for (WorkloadKind k : kinds) {
+        const SimResults &base = results[next++];
         for (bool confidence : {false, true}) {
-            RunSpec spec = base_spec;
-            spec.scheme = PrefetchScheme::Discontinuity;
-            spec.bypassL2 = true;
-            SystemConfig cfg = makeConfig(spec);
-            cfg.prefetch.useConfidenceFilter = confidence;
-            System system(cfg);
-            SimResults r = system.run();
+            const SimResults &r = results[next++];
             double per_k =
                 1000.0 / static_cast<double>(r.instructions);
             std::uint64_t suppressed =

@@ -17,25 +17,18 @@ main(int argc, char **argv)
     BenchContext ctx(argc, argv, 0.4);
     const std::vector<WorkloadKind> kinds = {WorkloadKind::DB,
                                              WorkloadKind::JAPP};
+    const std::vector<unsigned> degrees = {1, 2, 3, 4, 6, 8};
 
-    Table t("Ablation: discontinuity prefetch-ahead distance N "
-            "(4-way CMP, with bypass)");
-    std::vector<std::string> header = {"N"};
-    std::vector<SimResults> baselines;
+    // One batch: baselines first, then the degree grid (row-major).
+    std::vector<RunSpec> specs;
     for (WorkloadKind k : kinds) {
-        for (const char *m : {"cov", "acc", "speedup"})
-            header.push_back(std::string(workloadName(k)) + " " + m);
         RunSpec spec;
         spec.cmp = true;
         spec.workloads = {k};
         spec.instrScale = ctx.scale;
-        baselines.push_back(runSpec(spec));
+        specs.push_back(spec);
     }
-    t.header(header);
-
-    for (unsigned n : {1u, 2u, 3u, 4u, 6u, 8u}) {
-        std::vector<std::string> row = {std::to_string(n)};
-        std::size_t wi = 0;
+    for (unsigned n : degrees) {
         for (WorkloadKind k : kinds) {
             RunSpec spec;
             spec.cmp = true;
@@ -44,12 +37,28 @@ main(int argc, char **argv)
             spec.degree = n;
             spec.bypassL2 = true;
             spec.instrScale = ctx.scale;
-            SimResults r = runSpec(spec);
+            specs.push_back(spec);
+        }
+    }
+    std::vector<SimResults> results = ctx.run(specs);
+
+    Table t("Ablation: discontinuity prefetch-ahead distance N "
+            "(4-way CMP, with bypass)");
+    std::vector<std::string> header = {"N"};
+    for (WorkloadKind k : kinds)
+        for (const char *m : {"cov", "acc", "speedup"})
+            header.push_back(std::string(workloadName(k)) + " " + m);
+    t.header(header);
+
+    std::size_t next = kinds.size();
+    for (unsigned n : degrees) {
+        std::vector<std::string> row = {std::to_string(n)};
+        for (std::size_t wi = 0; wi < kinds.size(); ++wi) {
+            const SimResults &r = results[next++];
             row.push_back(Table::pct(r.l1iCoverage(), 1));
             row.push_back(Table::pct(r.pfAccuracy(), 1));
             row.push_back(
-                Table::num(speedup(baselines[wi], r), 3) + "X");
-            ++wi;
+                Table::num(speedup(results[wi], r), 3) + "X");
         }
         t.row(row);
     }

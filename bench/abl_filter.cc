@@ -11,38 +11,37 @@
 
 using namespace ipref;
 
-namespace
-{
-
-SimResults
-runFiltered(const BenchContext &ctx, unsigned history,
-            unsigned queue)
-{
-    RunSpec spec;
-    spec.cmp = true;
-    spec.workloads = {WorkloadKind::DB};
-    spec.scheme = PrefetchScheme::Discontinuity;
-    spec.bypassL2 = true;
-    spec.instrScale = ctx.scale;
-    SystemConfig cfg = makeConfig(spec);
-    cfg.prefetch.historySize = history;
-    cfg.prefetch.queueSize = queue;
-    System system(cfg);
-    return system.run();
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
     BenchContext ctx(argc, argv, 0.4);
 
+    struct Cfg
+    {
+        int history;
+        int queue;
+    };
+    const std::vector<Cfg> cfgs = {{0, 32},  {8, 32},  {32, 32},
+                                   {128, 32}, {32, 8},  {32, 64},
+                                   {32, 128}};
+
+    // One batch: the no-prefetch baseline plus every filter config.
+    std::vector<RunSpec> specs;
     RunSpec base_spec;
     base_spec.cmp = true;
     base_spec.workloads = {WorkloadKind::DB};
     base_spec.instrScale = ctx.scale;
-    SimResults base = runSpec(base_spec);
+    specs.push_back(base_spec);
+    for (Cfg c : cfgs) {
+        RunSpec spec = base_spec;
+        spec.scheme = PrefetchScheme::Discontinuity;
+        spec.bypassL2 = true;
+        spec.historySize = c.history;
+        spec.queueSize = c.queue;
+        specs.push_back(spec);
+    }
+    std::vector<SimResults> results = ctx.run(specs);
+    const SimResults &base = results[0];
 
     Table t("Ablation: filter history depth / queue capacity "
             "(DB, 4-way CMP, discontinuity + bypass)");
@@ -50,14 +49,9 @@ main(int argc, char **argv)
               "probe hit rate", "filtered/1k", "accuracy",
               "speedup"});
 
-    struct Cfg
-    {
-        unsigned history;
-        unsigned queue;
-    };
-    for (Cfg c : {Cfg{0, 32}, Cfg{8, 32}, Cfg{32, 32}, Cfg{128, 32},
-                  Cfg{32, 8}, Cfg{32, 64}, Cfg{32, 128}}) {
-        SimResults r = runFiltered(ctx, c.history, c.queue);
+    std::size_t next = 1;
+    for (Cfg c : cfgs) {
+        const SimResults &r = results[next++];
         double per_k =
             1000.0 / static_cast<double>(r.instructions);
         t.row({std::to_string(c.history), std::to_string(c.queue),

@@ -37,24 +37,16 @@ main(int argc, char **argv)
         {"discontinuity", PrefetchScheme::Discontinuity, 4, 2},
     };
 
-    Table t("Ablation: related-work baselines (4-way CMP, with "
-            "bypass)");
-    std::vector<std::string> header = {"Scheme"};
-    std::vector<SimResults> baselines;
+    // One batch: baselines first, then the variant grid (row-major).
+    std::vector<RunSpec> specs;
     for (WorkloadKind k : kinds) {
-        for (const char *m : {"miss(norm)", "acc", "speedup"})
-            header.push_back(std::string(workloadName(k)) + " " + m);
         RunSpec spec;
         spec.cmp = true;
         spec.workloads = {k};
         spec.instrScale = ctx.scale;
-        baselines.push_back(runSpec(spec));
+        specs.push_back(spec);
     }
-    t.header(header);
-
     for (const auto &v : variants) {
-        std::vector<std::string> row = {v.label};
-        std::size_t wi = 0;
         for (WorkloadKind k : kinds) {
             RunSpec spec;
             spec.cmp = true;
@@ -64,14 +56,30 @@ main(int argc, char **argv)
             spec.targetWays = v.ways;
             spec.bypassL2 = true;
             spec.instrScale = ctx.scale;
-            SimResults r = runSpec(spec);
-            double base = baselines[wi].l1iMissPerInstr();
+            specs.push_back(spec);
+        }
+    }
+    std::vector<SimResults> results = ctx.run(specs);
+
+    Table t("Ablation: related-work baselines (4-way CMP, with "
+            "bypass)");
+    std::vector<std::string> header = {"Scheme"};
+    for (WorkloadKind k : kinds)
+        for (const char *m : {"miss(norm)", "acc", "speedup"})
+            header.push_back(std::string(workloadName(k)) + " " + m);
+    t.header(header);
+
+    std::size_t next = kinds.size();
+    for (const auto &v : variants) {
+        std::vector<std::string> row = {v.label};
+        for (std::size_t wi = 0; wi < kinds.size(); ++wi) {
+            const SimResults &r = results[next++];
+            double base = results[wi].l1iMissPerInstr();
             row.push_back(Table::num(
                 base > 0 ? r.l1iMissPerInstr() / base : 0.0, 3));
             row.push_back(Table::pct(r.pfAccuracy(), 1));
             row.push_back(
-                Table::num(speedup(baselines[wi], r), 3) + "X");
-            ++wi;
+                Table::num(speedup(results[wi], r), 3) + "X");
         }
         t.row(row);
     }

@@ -7,6 +7,10 @@
  *   --scale X            multiply the default instruction budgets
  *                        (also via the IPREF_SCALE environment
  *                        variable; both compose)
+ *   --jobs N             run independent simulations on N pool
+ *                        threads (default: hardware concurrency;
+ *                        1 = sequential). Results and reports are
+ *                        bit-identical at any job count.
  *   --csv                print comma-separated values instead of
  *                        tables
  *   --stats-json FILE    write a JSON array with one report per run
@@ -39,6 +43,7 @@ struct BenchContext
         scale = defaultScale * envScale() *
                 opts.getDouble("scale", 1.0);
         csv = opts.getBool("csv");
+        jobs = static_cast<unsigned>(opts.getUint("jobs", 0));
 
         ObservabilityOptions obs;
         obs.jsonPath = opts.getString("stats-json");
@@ -48,6 +53,13 @@ struct BenchContext
             opts.getString("trace-out", "trace_events.jsonl");
         obs.profileSites = opts.getUint("profile-sites", 0);
         setObservability(obs);
+    }
+
+    /** Run a batch of specs on the --jobs pool, in input order. */
+    std::vector<SimResults>
+    run(const std::vector<RunSpec> &specs) const
+    {
+        return runSpecs(specs, jobs);
     }
 
     /** Emit a finished table in the chosen format. */
@@ -64,6 +76,7 @@ struct BenchContext
     Options opts;
     double scale = 1.0;
     bool csv = false;
+    unsigned jobs = 0; //!< 0 = hardware concurrency
 };
 
 /** Speedup of @p x over @p base (paper's "performance improvement"). */

@@ -14,27 +14,41 @@ main(int argc, char **argv)
 {
     BenchContext ctx(argc, argv, 0.6);
 
-    Table t("Figure 2: L2 instruction miss rate (% per instruction)");
-    std::vector<std::string> header = {"Configuration"};
-    for (const auto &ws : figureWorkloads(true))
-        header.push_back(ws.label);
-    t.header(header);
+    const auto sets = figureWorkloads(true);
 
+    // Submit the whole capacity x configuration grid, then collect
+    // results in input order.
+    std::vector<RunSpec> specs;
     for (std::uint64_t mb : {1, 2, 4}) {
         for (bool cmp : {false, true}) {
-            std::vector<std::string> row = {
-                std::to_string(mb) + "MB " +
-                (cmp ? "4-way CMP" : "single core")};
-            for (const auto &ws : figureWorkloads(true)) {
+            for (const auto &ws : sets) {
                 RunSpec spec;
                 spec.cmp = cmp;
                 spec.workloads = ws.kinds;
                 spec.functional = true;
                 spec.l2Bytes = mb << 20;
                 spec.instrScale = ctx.scale;
-                SimResults r = runSpec(spec);
-                row.push_back(Table::pct(r.l2iMissPerInstr(), 3));
+                specs.push_back(spec);
             }
+        }
+    }
+    std::vector<SimResults> results = ctx.run(specs);
+
+    Table t("Figure 2: L2 instruction miss rate (% per instruction)");
+    std::vector<std::string> header = {"Configuration"};
+    for (const auto &ws : sets)
+        header.push_back(ws.label);
+    t.header(header);
+
+    std::size_t next = 0;
+    for (std::uint64_t mb : {1, 2, 4}) {
+        for (bool cmp : {false, true}) {
+            std::vector<std::string> row = {
+                std::to_string(mb) + "MB " +
+                (cmp ? "4-way CMP" : "single core")};
+            for (std::size_t wi = 0; wi < sets.size(); ++wi)
+                row.push_back(
+                    Table::pct(results[next++].l2iMissPerInstr(), 3));
             t.row(row);
         }
     }

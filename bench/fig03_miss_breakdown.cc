@@ -17,18 +17,23 @@ void
 breakdownTable(const BenchContext &ctx, const char *title, bool cmp,
                bool l2, bool include_mix)
 {
-    Table t(title);
-    std::vector<std::string> header = {"Category"};
-    std::vector<SimResults> results;
-    for (const auto &ws : figureWorkloads(include_mix)) {
-        header.push_back(ws.label);
+    const auto sets = figureWorkloads(include_mix);
+
+    std::vector<RunSpec> specs;
+    for (const auto &ws : sets) {
         RunSpec spec;
         spec.cmp = cmp;
         spec.workloads = ws.kinds;
         spec.functional = true;
         spec.instrScale = ctx.scale;
-        results.push_back(runSpec(spec));
+        specs.push_back(spec);
     }
+    std::vector<SimResults> results = ctx.run(specs);
+
+    Table t(title);
+    std::vector<std::string> header = {"Category"};
+    for (const auto &ws : sets)
+        header.push_back(ws.label);
     t.header(header);
 
     for (std::size_t c = 0;

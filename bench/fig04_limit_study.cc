@@ -43,32 +43,44 @@ limitTable(const BenchContext &ctx, const char *title, bool cmp,
         {"Seq + Branch + Function", groups(true, true, true)},
     };
 
-    Table t(title);
-    std::vector<std::string> header = {"Eliminated misses"};
-    std::vector<SimResults> baselines;
-    for (const auto &ws : figureWorkloads(include_mix)) {
-        header.push_back(ws.label);
+    const auto sets = figureWorkloads(include_mix);
+
+    // One batch: baselines first, then the series grid (row-major).
+    std::vector<RunSpec> specs;
+    for (const auto &ws : sets) {
         RunSpec spec;
         spec.cmp = cmp;
         spec.workloads = ws.kinds;
         spec.instrScale = ctx.scale;
-        baselines.push_back(runSpec(spec));
+        specs.push_back(spec);
     }
-    t.header(header);
-
     for (const auto &[label, eliminate] : series) {
-        std::vector<std::string> row = {label};
-        std::size_t wi = 0;
-        for (const auto &ws : figureWorkloads(include_mix)) {
+        (void)label;
+        for (const auto &ws : sets) {
             RunSpec spec;
             spec.cmp = cmp;
             spec.workloads = ws.kinds;
             spec.instrScale = ctx.scale;
             spec.idealEliminate = eliminate;
-            SimResults r = runSpec(spec);
+            specs.push_back(spec);
+        }
+    }
+    std::vector<SimResults> results = ctx.run(specs);
+
+    Table t(title);
+    std::vector<std::string> header = {"Eliminated misses"};
+    for (const auto &ws : sets)
+        header.push_back(ws.label);
+    t.header(header);
+
+    std::size_t next = sets.size();
+    for (const auto &[label, eliminate] : series) {
+        (void)eliminate;
+        std::vector<std::string> row = {label};
+        for (std::size_t wi = 0; wi < sets.size(); ++wi) {
             row.push_back(
-                Table::num(speedup(baselines[wi], r), 3) + "X");
-            ++wi;
+                Table::num(speedup(results[wi], results[next++]), 3) +
+                "X");
         }
         t.row(row);
     }

@@ -18,33 +18,43 @@ void
 bypassTable(const BenchContext &ctx, const char *title, bool cmp,
             bool include_mix)
 {
-    Table t(title);
-    std::vector<std::string> header = {"Scheme"};
-    std::vector<SimResults> baselines;
-    for (const auto &ws : figureWorkloads(include_mix)) {
-        header.push_back(ws.label);
+    const auto sets = figureWorkloads(include_mix);
+
+    // One batch: baselines first, then the scheme grid (row-major).
+    std::vector<RunSpec> specs;
+    for (const auto &ws : sets) {
         RunSpec spec;
         spec.cmp = cmp;
         spec.workloads = ws.kinds;
         spec.instrScale = ctx.scale;
-        baselines.push_back(runSpec(spec));
+        specs.push_back(spec);
     }
-    t.header(header);
-
     for (PrefetchScheme scheme : paperSchemes()) {
-        std::vector<std::string> row = {schemeName(scheme)};
-        std::size_t wi = 0;
-        for (const auto &ws : figureWorkloads(include_mix)) {
+        for (const auto &ws : sets) {
             RunSpec spec;
             spec.cmp = cmp;
             spec.workloads = ws.kinds;
             spec.scheme = scheme;
             spec.bypassL2 = true;
             spec.instrScale = ctx.scale;
-            SimResults r = runSpec(spec);
+            specs.push_back(spec);
+        }
+    }
+    std::vector<SimResults> results = ctx.run(specs);
+
+    Table t(title);
+    std::vector<std::string> header = {"Scheme"};
+    for (const auto &ws : sets)
+        header.push_back(ws.label);
+    t.header(header);
+
+    std::size_t next = sets.size();
+    for (PrefetchScheme scheme : paperSchemes()) {
+        std::vector<std::string> row = {schemeName(scheme)};
+        for (std::size_t wi = 0; wi < sets.size(); ++wi) {
             row.push_back(
-                Table::num(speedup(baselines[wi], r), 3) + "X");
-            ++wi;
+                Table::num(speedup(results[wi], results[next++]), 3) +
+                "X");
         }
         t.row(row);
     }

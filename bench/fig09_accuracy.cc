@@ -40,28 +40,19 @@ main(int argc, char **argv)
 {
     BenchContext ctx(argc, argv, 0.8);
 
-    std::vector<std::string> header = {"Scheme"};
-    std::vector<SimResults> baselines;
-    for (const auto &ws : figureWorkloads(true)) {
-        header.push_back(ws.label);
+    const auto sets = figureWorkloads(true);
+
+    // One batch: baselines first, then the scheme grid (row-major).
+    std::vector<RunSpec> specs;
+    for (const auto &ws : sets) {
         RunSpec spec;
         spec.cmp = true;
         spec.workloads = ws.kinds;
         spec.instrScale = ctx.scale;
-        baselines.push_back(runSpec(spec));
+        specs.push_back(spec);
     }
-
-    Table acc("Figure 9(i): prefetch accuracy (4-way CMP)");
-    Table perf("Figure 9(ii): speedup incl. discont (2NL) "
-               "(4-way CMP, with bypass)");
-    acc.header(header);
-    perf.header(header);
-
     for (const auto &ss : schemesWith2NL()) {
-        std::vector<std::string> arow = {ss.label};
-        std::vector<std::string> prow = {ss.label};
-        std::size_t wi = 0;
-        for (const auto &ws : figureWorkloads(true)) {
+        for (const auto &ws : sets) {
             RunSpec spec;
             spec.cmp = true;
             spec.workloads = ws.kinds;
@@ -69,11 +60,30 @@ main(int argc, char **argv)
             spec.degree = ss.degree;
             spec.bypassL2 = true;
             spec.instrScale = ctx.scale;
-            SimResults r = runSpec(spec);
+            specs.push_back(spec);
+        }
+    }
+    std::vector<SimResults> results = ctx.run(specs);
+
+    std::vector<std::string> header = {"Scheme"};
+    for (const auto &ws : sets)
+        header.push_back(ws.label);
+
+    Table acc("Figure 9(i): prefetch accuracy (4-way CMP)");
+    Table perf("Figure 9(ii): speedup incl. discont (2NL) "
+               "(4-way CMP, with bypass)");
+    acc.header(header);
+    perf.header(header);
+
+    std::size_t next = sets.size();
+    for (const auto &ss : schemesWith2NL()) {
+        std::vector<std::string> arow = {ss.label};
+        std::vector<std::string> prow = {ss.label};
+        for (std::size_t wi = 0; wi < sets.size(); ++wi) {
+            const SimResults &r = results[next++];
             arow.push_back(Table::pct(r.pfAccuracy(), 1));
             prow.push_back(
-                Table::num(speedup(baselines[wi], r), 3) + "X");
-            ++wi;
+                Table::num(speedup(results[wi], r), 3) + "X");
         }
         acc.row(arow);
         perf.row(prow);

@@ -32,24 +32,6 @@ main(int argc, char **argv)
 {
     BenchContext ctx(argc, argv, 0.3);
 
-    std::vector<std::string> header = {"Configuration"};
-    std::vector<SimResults> baselines;
-    for (const auto &ws : figureWorkloads(true)) {
-        header.push_back(ws.label);
-        RunSpec spec;
-        spec.cmp = true;
-        spec.workloads = ws.kinds;
-        spec.instrScale = ctx.scale;
-        baselines.push_back(runSpec(spec));
-    }
-
-    Table l1("Figure 10(i): L1I miss coverage vs discontinuity "
-             "table size (4-way CMP)");
-    Table l2("Figure 10(ii): L2 instruction miss coverage vs table "
-             "size (4-way CMP)");
-    l1.header(header);
-    l2.header(header);
-
     struct Row
     {
         std::string label;
@@ -64,23 +46,51 @@ main(int argc, char **argv)
         {"next-4-lines (tagged)", PrefetchScheme::NextNLineTagged,
          8192});
 
+    const auto sets = figureWorkloads(true);
+
+    // One batch: baselines first, then the table-size grid.
+    std::vector<RunSpec> specs;
+    for (const auto &ws : sets) {
+        RunSpec spec;
+        spec.cmp = true;
+        spec.workloads = ws.kinds;
+        spec.instrScale = ctx.scale;
+        specs.push_back(spec);
+    }
     for (const auto &cfg : rows) {
-        std::vector<std::string> r1 = {cfg.label};
-        std::vector<std::string> r2 = {cfg.label};
-        std::size_t wi = 0;
-        for (const auto &ws : figureWorkloads(true)) {
+        for (const auto &ws : sets) {
             RunSpec spec;
             spec.cmp = true;
             spec.workloads = ws.kinds;
             spec.scheme = cfg.scheme;
             spec.tableEntries = cfg.entries;
             spec.instrScale = ctx.scale;
-            SimResults r = runSpec(spec);
+            specs.push_back(spec);
+        }
+    }
+    std::vector<SimResults> results = ctx.run(specs);
+
+    std::vector<std::string> header = {"Configuration"};
+    for (const auto &ws : sets)
+        header.push_back(ws.label);
+
+    Table l1("Figure 10(i): L1I miss coverage vs discontinuity "
+             "table size (4-way CMP)");
+    Table l2("Figure 10(ii): L2 instruction miss coverage vs table "
+             "size (4-way CMP)");
+    l1.header(header);
+    l2.header(header);
+
+    std::size_t next = sets.size();
+    for (const auto &cfg : rows) {
+        std::vector<std::string> r1 = {cfg.label};
+        std::vector<std::string> r2 = {cfg.label};
+        for (std::size_t wi = 0; wi < sets.size(); ++wi) {
+            const SimResults &r = results[next++];
             r1.push_back(Table::pct(
-                coverage(baselines[wi].l1iMisses, r.l1iMisses), 1));
+                coverage(results[wi].l1iMisses, r.l1iMisses), 1));
             r2.push_back(Table::pct(
-                coverage(baselines[wi].l2iMisses, r.l2iMisses), 1));
-            ++wi;
+                coverage(results[wi].l2iMisses, r.l2iMisses), 1));
         }
         l1.row(r1);
         l2.row(r2);

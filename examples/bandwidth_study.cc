@@ -10,7 +10,7 @@
  * example sweeps the channel bandwidth and reports the trade-off.
  *
  * Usage:
- *   bandwidth_study [--workload db] [--scale X]
+ *   bandwidth_study [--workload db] [--scale X] [--jobs N]
  */
 
 #include <iostream>
@@ -21,28 +21,6 @@
 
 using namespace ipref;
 
-namespace
-{
-
-SimResults
-runAt(WorkloadKind kind, double gbps, PrefetchScheme scheme,
-      unsigned degree, double scale)
-{
-    RunSpec spec;
-    spec.cmp = true;
-    spec.workloads = {kind};
-    spec.scheme = scheme;
-    spec.degree = degree;
-    spec.bypassL2 = scheme != PrefetchScheme::None;
-    spec.instrScale = scale;
-    SystemConfig cfg = makeConfig(spec);
-    cfg.hierarchy.memory.gbPerSec = gbps;
-    System system(cfg);
-    return system.run();
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
@@ -50,24 +28,51 @@ main(int argc, char **argv)
     WorkloadKind kind =
         parseWorkloadKind(opts.getString("workload", "db"));
     double scale = opts.getDouble("scale", 0.5);
+    unsigned jobs = static_cast<unsigned>(opts.getUint("jobs", 0));
 
     std::cout << "Off-chip bandwidth sensitivity ("
               << workloadName(kind)
               << ", 4-way CMP, discontinuity + bypass)\n\n";
 
+    const std::vector<double> channels = {4.0, 10.0, 20.0, 25.0,
+                                          40.0};
+    struct Variant
+    {
+        PrefetchScheme scheme;
+        unsigned degree;
+    };
+    const std::vector<Variant> variants = {
+        {PrefetchScheme::None, 4},
+        {PrefetchScheme::Discontinuity, 4},
+        {PrefetchScheme::Discontinuity, 2},
+    };
+
+    // One batch: bandwidth-major, {base, disc-4, disc-2} per point.
+    std::vector<RunSpec> specs;
+    for (double gbps : channels) {
+        for (const auto &v : variants) {
+            RunSpec spec;
+            spec.cmp = true;
+            spec.workloads = {kind};
+            spec.scheme = v.scheme;
+            spec.degree = v.degree;
+            spec.bypassL2 = v.scheme != PrefetchScheme::None;
+            spec.instrScale = scale;
+            spec.memGbPerSec = gbps;
+            specs.push_back(spec);
+        }
+    }
+    std::vector<SimResults> results = runSpecs(specs, jobs);
+
     Table t("speedup and prefetch behaviour vs channel bandwidth");
     t.header({"GB/s", "base IPC", "disc speedup", "2NL speedup",
               "disc late pf", "disc queue delay/read"});
 
-    for (double gbps : {4.0, 10.0, 20.0, 25.0, 40.0}) {
-        SimResults base = runAt(kind, gbps, PrefetchScheme::None, 4,
-                                scale);
-        SimResults d4 = runAt(kind, gbps,
-                              PrefetchScheme::Discontinuity, 4,
-                              scale);
-        SimResults d2 = runAt(kind, gbps,
-                              PrefetchScheme::Discontinuity, 2,
-                              scale);
+    std::size_t next = 0;
+    for (double gbps : channels) {
+        const SimResults &base = results[next++];
+        const SimResults &d4 = results[next++];
+        const SimResults &d2 = results[next++];
         double late_frac =
             d4.pfUseful ? static_cast<double>(d4.pfLate) /
                               static_cast<double>(d4.pfUseful)

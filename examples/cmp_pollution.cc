@@ -10,6 +10,7 @@
  *
  * Usage:
  *   cmp_pollution [--workload mixed|db|tpcw|japp|web] [--scale X]
+ *                 [--jobs N]
  */
 
 #include <iostream>
@@ -73,17 +74,22 @@ main(int argc, char **argv)
     std::cout << "=== Shared-L2 pollution on a 4-way CMP ("
               << (w == "mixed" ? "Mixed" : w) << ") ===\n\n";
 
-    SimResults base = runSpec(spec);
-    report("[1] no prefetching", base, nullptr);
-
+    // All three configurations as one batch.
+    std::vector<RunSpec> specs = {spec};
     spec.scheme = PrefetchScheme::Discontinuity;
-    SimResults aggressive = runSpec(spec);
+    specs.push_back(spec);
+    spec.bypassL2 = true;
+    specs.push_back(spec);
+    std::vector<SimResults> results = runSpecs(
+        specs, static_cast<unsigned>(opts.getUint("jobs", 0)));
+
+    const SimResults &base = results[0];
+    const SimResults &aggressive = results[1];
+    const SimResults &bypass = results[2];
+    report("[1] no prefetching", base, nullptr);
     report("[2] discontinuity prefetcher (prefetches install into "
            "the L2)",
            aggressive, &base);
-
-    spec.bypassL2 = true;
-    SimResults bypass = runSpec(spec);
     report("[3] discontinuity prefetcher + selective L2 install "
            "(Section 7)",
            bypass, &base);

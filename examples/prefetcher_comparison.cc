@@ -8,6 +8,7 @@
  *
  * Usage:
  *   prefetcher_comparison [--workload db] [--cores 4] [--scale X]
+ *                         [--jobs N]
  */
 
 #include <iostream>
@@ -26,22 +27,12 @@ main(int argc, char **argv)
         parseWorkloadKind(opts.getString("workload", "db"));
     bool cmp = opts.getInt("cores", 4) == 4;
     double scale = opts.getDouble("scale", 0.5);
+    unsigned jobs = static_cast<unsigned>(opts.getUint("jobs", 0));
 
     RunSpec base_spec;
     base_spec.cmp = cmp;
     base_spec.workloads = {kind};
     base_spec.instrScale = scale;
-    SimResults base = runSpec(base_spec);
-
-    std::cout << "Workload " << workloadName(kind) << " on "
-              << (cmp ? "4-way CMP" : "a single core")
-              << ": baseline IPC " << base.ipc << ", L1I miss rate "
-              << base.l1iMissPerInstr() * 100 << "%/instr\n\n";
-
-    Table t("Scheme comparison");
-    t.header({"Scheme", "bypass", "L1I miss (norm)", "coverage",
-              "accuracy", "mem reads (norm)", "L2D miss (norm)",
-              "speedup"});
 
     struct Entry
     {
@@ -60,12 +51,31 @@ main(int argc, char **argv)
         {PrefetchScheme::Discontinuity, 2, true},
     };
 
+    // One batch: the baseline first, then every scheme variant.
+    std::vector<RunSpec> specs = {base_spec};
     for (const auto &e : entries) {
         RunSpec spec = base_spec;
         spec.scheme = e.scheme;
         spec.degree = e.degree;
         spec.bypassL2 = e.bypass;
-        SimResults r = runSpec(spec);
+        specs.push_back(spec);
+    }
+    std::vector<SimResults> results = runSpecs(specs, jobs);
+    const SimResults &base = results[0];
+
+    std::cout << "Workload " << workloadName(kind) << " on "
+              << (cmp ? "4-way CMP" : "a single core")
+              << ": baseline IPC " << base.ipc << ", L1I miss rate "
+              << base.l1iMissPerInstr() * 100 << "%/instr\n\n";
+
+    Table t("Scheme comparison");
+    t.header({"Scheme", "bypass", "L1I miss (norm)", "coverage",
+              "accuracy", "mem reads (norm)", "L2D miss (norm)",
+              "speedup"});
+
+    std::size_t next = 1;
+    for (const auto &e : entries) {
+        const SimResults &r = results[next++];
         std::string label = schemeName(e.scheme);
         if (e.scheme == PrefetchScheme::Discontinuity &&
             e.degree == 2)

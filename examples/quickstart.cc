@@ -142,12 +142,13 @@ main(int argc, char **argv)
         std::cout << "JSON report written to " << obs.jsonPath
                   << "\n";
     }
-    if (obs.traceCapacity > 0 && !obs.tracePath.empty()) {
+    if (const TraceSink *sink = system.traceSink();
+        sink && !obs.tracePath.empty()) {
         std::ofstream out(obs.tracePath);
-        TraceSink::global().writeJsonLines(out);
+        sink->writeJsonLines(out);
         std::cout << "trace events written to " << obs.tracePath
-                  << " (" << TraceSink::global().size() << " of "
-                  << TraceSink::global().recorded() << " recorded)\n";
+                  << " (" << sink->size() << " of "
+                  << sink->recorded() << " recorded)\n";
     }
     return 0;
 }

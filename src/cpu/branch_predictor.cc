@@ -74,7 +74,10 @@ ReturnAddressStack::ReturnAddressStack(std::uint32_t entries)
 void
 ReturnAddressStack::push(Addr returnAddr)
 {
-    top_ = (top_ + 1) % stack_.size();
+    // Conditional wrap instead of modulo: push/pop run once per
+    // call/return in the fetch loop.
+    if (++top_ == stack_.size())
+        top_ = 0;
     stack_[top_] = returnAddr;
     if (count_ < stack_.size())
         ++count_;
@@ -86,7 +89,7 @@ ReturnAddressStack::pop()
     if (count_ == 0)
         return 0;
     Addr v = stack_[top_];
-    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    top_ = (top_ == 0 ? stack_.size() : top_) - 1;
     --count_;
     return v;
 }

@@ -193,16 +193,22 @@ OoOCore::fetchStage(Cycle now)
         ++fetched;
 
         if (fi.rec.isCti()) {
-            if (fi.rec.op == OpClass::Call ||
-                fi.rec.op == OpClass::Jump ||
-                fi.rec.op == OpClass::Return) {
+            // Event construction is skipped when the configured
+            // scheme ignores the event class (only call-graph
+            // consumes function events, only wrong-path consumes
+            // branch events).
+            if (engine_.wantsFunctionEvents() &&
+                (fi.rec.op == OpClass::Call ||
+                 fi.rec.op == OpClass::Jump ||
+                 fi.rec.op == OpClass::Return)) {
                 FunctionEvent fe;
                 fe.isReturn = fi.rec.op == OpClass::Return;
                 fe.sitePc = fi.rec.pc;
                 fe.target = fi.rec.target;
                 engine_.onFunction(fe);
             }
-            if (fi.rec.op == OpClass::CondBranch) {
+            if (engine_.wantsBranchEvents() &&
+                fi.rec.op == OpClass::CondBranch) {
                 BranchEvent be;
                 be.branchPc = fi.rec.pc;
                 be.takenTarget = fi.rec.target;

@@ -15,6 +15,8 @@ PrefetchEngine::PrefetchEngine(const PrefetchConfig &cfg, CoreId core,
       queue_(cfg.queueSize),
       history_(cfg.historySize)
 {
+    wrongPath_ = dynamic_cast<WrongPathPrefetcher *>(prefetcher_.get());
+    callGraph_ = dynamic_cast<CallGraphPrefetcher *>(prefetcher_.get());
     if (prefetcher_)
         hierarchy_.setEvictionListener(core_, this);
     if (cfg.useConfidenceFilter)
@@ -77,22 +79,20 @@ PrefetchEngine::onDemandFetch(const DemandFetchEvent &event)
 void
 PrefetchEngine::onBranch(const BranchEvent &event)
 {
-    auto *wp = dynamic_cast<WrongPathPrefetcher *>(prefetcher_.get());
-    if (!wp)
+    if (!wrongPath_)
         return;
     scratch_.clear();
-    wp->onBranch(event, scratch_);
+    wrongPath_->onBranch(event, scratch_);
     enqueueCandidates(hierarchy_.lineOf(event.branchPc));
 }
 
 void
 PrefetchEngine::onFunction(const FunctionEvent &event)
 {
-    auto *cg = dynamic_cast<CallGraphPrefetcher *>(prefetcher_.get());
-    if (!cg)
+    if (!callGraph_)
         return;
     scratch_.clear();
-    cg->onFunction(event, scratch_);
+    callGraph_->onFunction(event, scratch_);
     enqueueCandidates(hierarchy_.lineOf(event.sitePc));
 }
 
@@ -114,11 +114,8 @@ PrefetchEngine::enqueueCandidates(Addr defaultTrigger)
 }
 
 void
-PrefetchEngine::tick(Cycle now, bool tagPortFree)
+PrefetchEngine::issueOne(Cycle now)
 {
-    if (!prefetcher_ || !tagPortFree)
-        return;
-
     auto cand = queue_.popForIssue();
     if (!cand)
         return;

@@ -76,9 +76,26 @@ class PrefetchEngine : public PrefetchEvictionListener
 
     /**
      * One cycle of issue opportunity. @p tagPortFree is true when the
-     * core made no demand fetch this cycle.
+     * core made no demand fetch this cycle. Inline fast path: this is
+     * called every cycle by every core, and almost every call has
+     * nothing to do (no prefetcher, busy tag port, or empty queue).
      */
-    void tick(Cycle now, bool tagPortFree);
+    void
+    tick(Cycle now, bool tagPortFree)
+    {
+        if (!prefetcher_ || !tagPortFree || !queue_.hasWaiting())
+            return;
+        issueOne(now);
+    }
+
+    /**
+     * Does the configured scheme consume branch / function events?
+     * Fetch loops use these to skip event construction entirely for
+     * the schemes that would ignore them (hoisting the per-CTI
+     * dispatch out of the hot loop).
+     */
+    bool wantsBranchEvents() const { return wrongPath_ != nullptr; }
+    bool wantsFunctionEvents() const { return callGraph_ != nullptr; }
 
     // PrefetchEvictionListener
     void prefetchedLineEvicted(CoreId core, Addr lineAddr,
@@ -167,6 +184,9 @@ class PrefetchEngine : public PrefetchEvictionListener
     /** Credit a used prefetched line back to its predictor entry. */
     void credit(Addr lineAddr, Cycle now);
 
+    /** Slow path of tick(): probe/filter and issue one prefetch. */
+    void issueOne(Cycle now);
+
     /**
      * Enqueue candidates from @p scratch_ through the filters.
      * Candidates without a trigger site are stamped @p defaultTrigger.
@@ -178,6 +198,10 @@ class PrefetchEngine : public PrefetchEvictionListener
     CacheHierarchy &hierarchy_;
     FetchProfiler *profiler_ = nullptr;
     std::unique_ptr<InstructionPrefetcher> prefetcher_;
+    /** Typed views of prefetcher_, resolved once at construction so
+     *  the per-CTI event hooks don't dynamic_cast per event. */
+    WrongPathPrefetcher *wrongPath_ = nullptr;
+    CallGraphPrefetcher *callGraph_ = nullptr;
     PrefetchQueue queue_;
     FetchHistory history_;
     std::unique_ptr<ConfidenceFilter> confidence_;

@@ -30,7 +30,10 @@ class FetchHistory
         if (ring_.empty())
             return;
         ring_[head_] = lineAddr;
-        head_ = (head_ + 1) % ring_.size();
+        // Conditional wrap: this runs once per demand fetch, so avoid
+        // the integer divide of a modulo.
+        if (++head_ == ring_.size())
+            head_ = 0;
     }
 
     /** Was @p lineAddr demand fetched recently? */

@@ -27,6 +27,7 @@ PrefetchQueue::makeRoom()
     }
     // All slots hold waiting prefetches: drop the oldest one.
     slots_.pop_back();
+    --waitingCount_;
     ++overflowDrops;
 }
 
@@ -56,6 +57,7 @@ PrefetchQueue::push(const PrefetchCandidate &cand)
     }
     makeRoom();
     slots_.push_front(Slot{cand, State::Waiting});
+    ++waitingCount_;
     return PushResult::Inserted;
 }
 
@@ -65,6 +67,7 @@ PrefetchQueue::popForIssue()
     for (auto &slot : slots_) {
         if (slot.state == State::Waiting) {
             slot.state = State::Issued;
+            --waitingCount_;
             return slot.cand;
         }
     }
@@ -78,19 +81,11 @@ PrefetchQueue::demandFetched(Addr lineAddr)
         if (slot.state == State::Waiting &&
             slot.cand.lineAddr == lineAddr) {
             slot.state = State::Invalidated;
+            --waitingCount_;
             ++demandInvalidations;
         }
     }
 }
 
-unsigned
-PrefetchQueue::waiting() const
-{
-    unsigned n = 0;
-    for (const auto &slot : slots_)
-        if (slot.state == State::Waiting)
-            ++n;
-    return n;
-}
 
 } // namespace ipref

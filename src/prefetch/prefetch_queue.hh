@@ -55,7 +55,10 @@ class PrefetchQueue
     void demandFetched(Addr lineAddr);
 
     /** Waiting entries currently queued. */
-    unsigned waiting() const;
+    unsigned waiting() const { return waitingCount_; }
+
+    /** O(1) check used by the engine's per-cycle fast path. */
+    bool hasWaiting() const { return waitingCount_ > 0; }
 
     /** All occupied slots (waiting + records). */
     unsigned size() const { return static_cast<unsigned>(slots_.size()); }
@@ -87,6 +90,7 @@ class PrefetchQueue
 
     std::deque<Slot> slots_; //!< front = newest
     unsigned capacity_;
+    unsigned waitingCount_ = 0; //!< slots in State::Waiting
 };
 
 } // namespace ipref

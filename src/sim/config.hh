@@ -62,6 +62,16 @@ struct SystemConfig
     std::uint64_t statsIntervalInstrs = 0;
 
     /**
+     * Event tracing: when > 0 the System owns a private TraceSink
+     * ring of this capacity and installs it as the thread's current
+     * sink for the duration of run(), so concurrent runs never share
+     * a ring (see trace_event.hh for the thread-ownership rule).
+     * 0 = no owned sink; instrumentation falls through to whatever
+     * sink the thread has current (the global one by default).
+     */
+    std::uint64_t traceCapacity = 0;
+
+    /**
      * Per-site fetch profiling: track the K hottest miss sites and
      * discontinuity edges in a chip-wide heavy-hitter sketch
      * (0 = disabled; see prefetch/fetch_profiler.hh). Attribution

@@ -2,9 +2,13 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <thread>
+#include <utility>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 #include "util/trace_event.hh"
 
 namespace ipref
@@ -15,12 +19,75 @@ namespace
 
 ObservabilityOptions g_observability;
 
-/** JSON reports of every runSpec() since setObservability(). */
+/**
+ * Buffered observability side effects. g_reportMutex serializes every
+ * access: runs executing on pool workers produce their output
+ * privately (each System is self-contained) and the collector commits
+ * it here in input order.
+ */
+std::mutex g_reportMutex;
 std::vector<std::string> g_jsonReports;
+bool g_reportsDirty = false;
+bool g_flushRegistered = false;
+
+/** Everything one run emits besides its SimResults. */
+struct RunOutput
+{
+    SimResults results;
+    std::string jsonReport; //!< empty when JSON reporting is off
+    std::string traceJsonl; //!< empty when tracing is off
+    bool traced = false;
+};
+
+/** Build and run one System; no shared state is touched. */
+RunOutput
+produceRun(const RunSpec &spec)
+{
+    System system(makeConfig(spec));
+    RunOutput out;
+    out.results = system.run();
+    if (!g_observability.jsonPath.empty()) {
+        std::ostringstream report;
+        system.dumpJson(report);
+        out.jsonReport = report.str();
+    }
+    if (system.traceSink() && !g_observability.tracePath.empty()) {
+        std::ostringstream trace;
+        system.traceSink()->writeJsonLines(trace);
+        out.traceJsonl = trace.str();
+        out.traced = true;
+    }
+    return out;
+}
+
+/**
+ * Commit one run's side effects, in input order: buffer the JSON
+ * report and overwrite the trace file with this run's tail (matching
+ * the sequential behaviour where the file holds the most recent run).
+ */
+void
+commitRun(RunOutput &&out)
+{
+    std::lock_guard<std::mutex> lock(g_reportMutex);
+    if (!out.jsonReport.empty()) {
+        g_jsonReports.push_back(std::move(out.jsonReport));
+        g_reportsDirty = true;
+    }
+    if (out.traced) {
+        std::ofstream trace(g_observability.tracePath);
+        if (trace)
+            trace << out.traceJsonl;
+    }
+}
+
+} // namespace
 
 void
-rewriteJsonArray()
+flushObservability()
 {
+    std::lock_guard<std::mutex> lock(g_reportMutex);
+    if (!g_reportsDirty || g_observability.jsonPath.empty())
+        return;
     std::ofstream out(g_observability.jsonPath);
     if (!out)
         ipref_fatal("cannot write JSON report to '%s'",
@@ -29,19 +96,20 @@ rewriteJsonArray()
     for (std::size_t i = 0; i < g_jsonReports.size(); ++i)
         out << (i ? ",\n" : "") << g_jsonReports[i];
     out << "]\n";
+    g_reportsDirty = false;
 }
-
-} // namespace
 
 void
 setObservability(const ObservabilityOptions &opts)
 {
+    std::lock_guard<std::mutex> lock(g_reportMutex);
     g_observability = opts;
     g_jsonReports.clear();
-    if (opts.traceCapacity > 0)
-        TraceSink::global().enable(opts.traceCapacity);
-    else
-        TraceSink::global().disable();
+    g_reportsDirty = false;
+    if (!opts.jsonPath.empty() && !g_flushRegistered) {
+        std::atexit(flushObservability);
+        g_flushRegistered = true;
+    }
 }
 
 const ObservabilityOptions &
@@ -69,15 +137,24 @@ makeConfig(const RunSpec &spec)
     cfg.hierarchy.idealEliminate = spec.idealEliminate;
 
     // Off-chip bandwidth: 10 GB/s single core, 20 GB/s CMP (paper §5).
-    cfg.hierarchy.memory.gbPerSec = spec.cmp ? 20.0 : 10.0;
+    cfg.hierarchy.memory.gbPerSec =
+        spec.memGbPerSec > 0.0 ? spec.memGbPerSec
+                               : (spec.cmp ? 20.0 : 10.0);
     cfg.hierarchy.memory.lineBytes = spec.lineBytes;
 
     cfg.prefetch.scheme = spec.scheme;
     cfg.prefetch.degree = spec.degree;
     cfg.prefetch.tableEntries = spec.tableEntries;
     cfg.prefetch.targetWays = spec.targetWays;
+    cfg.prefetch.useConfidenceFilter = spec.useConfidenceFilter;
+    if (spec.historySize >= 0)
+        cfg.prefetch.historySize =
+            static_cast<unsigned>(spec.historySize);
+    if (spec.queueSize >= 0)
+        cfg.prefetch.queueSize = static_cast<unsigned>(spec.queueSize);
 
     cfg.statsIntervalInstrs = g_observability.intervalInstrs;
+    cfg.traceCapacity = g_observability.traceCapacity;
     cfg.profileSites =
         static_cast<unsigned>(g_observability.profileSites);
 
@@ -99,23 +176,43 @@ makeConfig(const RunSpec &spec)
 SimResults
 runSpec(const RunSpec &spec)
 {
-    System system(makeConfig(spec));
-    SimResults results = system.run();
+    RunOutput out = produceRun(spec);
+    SimResults results = out.results;
+    commitRun(std::move(out));
+    return results;
+}
 
-    if (!g_observability.jsonPath.empty()) {
-        std::ostringstream report;
-        system.dumpJson(report);
-        g_jsonReports.push_back(report.str());
-        rewriteJsonArray();
+std::vector<SimResults>
+runSpecs(const std::vector<RunSpec> &specs, unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = std::thread::hardware_concurrency();
+    if (jobs == 0)
+        jobs = 1;
+    jobs = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, specs.size()));
+
+    std::vector<SimResults> results;
+    results.reserve(specs.size());
+
+    if (jobs <= 1) {
+        for (const RunSpec &spec : specs)
+            results.push_back(runSpec(spec));
+        return results;
     }
-    if (g_observability.traceCapacity > 0 &&
-        !g_observability.tracePath.empty()) {
-        // Retained tail of the most recent run (the ring is cleared
-        // between runs so events don't bleed across configurations).
-        std::ofstream out(g_observability.tracePath);
-        if (out)
-            TraceSink::global().writeJsonLines(out);
-        TraceSink::global().clear();
+
+    ThreadPool pool(jobs);
+    std::vector<std::future<RunOutput>> futures;
+    futures.reserve(specs.size());
+    for (const RunSpec &spec : specs)
+        futures.push_back(
+            pool.submit([spec] { return produceRun(spec); }));
+
+    // Collect (and commit side effects) strictly in input order.
+    for (auto &future : futures) {
+        RunOutput out = future.get();
+        results.push_back(out.results);
+        commitRun(std::move(out));
     }
     return results;
 }

@@ -34,6 +34,17 @@ struct RunSpec
     std::array<bool, static_cast<std::size_t>(MissGroup::NumGroups)>
         idealEliminate{};
 
+    /** Confidence filter [15] instead of the tag-port probe. */
+    bool useConfidenceFilter = false;
+
+    /** Recent-fetch filter / prefetch queue sizes (-1 = default;
+     *  history 0 is a real value meaning "no filter"). */
+    int historySize = -1;
+    int queueSize = -1;
+
+    /** Off-chip bandwidth override in GB/s (0 = paper default). */
+    double memGbPerSec = 0.0;
+
     /** Functional (miss-rate-only) instead of timing simulation. */
     bool functional = false;
 
@@ -55,6 +66,20 @@ SystemConfig makeConfig(const RunSpec &spec);
 SimResults runSpec(const RunSpec &spec);
 
 /**
+ * Run every spec, fanning out across a thread pool of @p jobs workers
+ * (0 = hardware_concurrency), and return results in input order.
+ *
+ * Each run is fully self-contained (its own System, stats tree, RNG
+ * streams and — when tracing is on — its own TraceSink ring), so the
+ * returned SimResults are bit-identical to a sequential runSpec()
+ * loop regardless of jobs. Observability side effects (JSON reports,
+ * the trace tail) are committed in input order under a mutex, so the
+ * report array is also identical to the sequential one.
+ */
+std::vector<SimResults> runSpecs(const std::vector<RunSpec> &specs,
+                                 unsigned jobs = 0);
+
+/**
  * Process-wide observability options, consulted by makeConfig() and
  * runSpec() so every bench and example honours the same CLI flags
  * without per-driver plumbing.
@@ -62,9 +87,10 @@ SimResults runSpec(const RunSpec &spec);
 struct ObservabilityOptions
 {
     /**
-     * Destination for the JSON report (empty = off). Each runSpec()
-     * appends one report and rewrites the file as a complete JSON
-     * array, so it parses at any point between runs.
+     * Destination for the JSON report (empty = off). Each run
+     * buffers one report; the complete JSON array is written once,
+     * by flushObservability() — registered atexit() — rather than
+     * being rewritten after every run.
      */
     std::string jsonPath;
 
@@ -72,11 +98,12 @@ struct ObservabilityOptions
     std::uint64_t intervalInstrs = 0;
 
     /**
-     * Enable the global TraceSink with this ring capacity (0 = off).
-     * The captured tail of the most recent run is written to
-     * tracePath (JSON lines) after each runSpec(). The ring is
-     * cleared at the warm-up / measure boundary, so the retained
-     * events cover the same measurement window as the counters.
+     * SystemConfig::traceCapacity for every run (0 = off): each
+     * System owns a private ring of this capacity, and the captured
+     * tail of the most recent run (input order under runSpecs) is
+     * written to tracePath (JSON lines). The ring is cleared at the
+     * warm-up / measure boundary, so the retained events cover the
+     * same measurement window as the counters.
      */
     std::uint64_t traceCapacity = 0;
     std::string tracePath = "trace_events.jsonl";
@@ -90,6 +117,14 @@ void setObservability(const ObservabilityOptions &opts);
 
 /** The currently installed options. */
 const ObservabilityOptions &observability();
+
+/**
+ * Write the buffered JSON reports to ObservabilityOptions::jsonPath
+ * as one array. Called automatically at process exit; call earlier to
+ * make the file available mid-process. Idempotent until another run
+ * buffers a new report.
+ */
+void flushObservability();
 
 /** A labelled workload set for figure loops ("DB".."Web", "Mixed"). */
 struct WorkloadSet

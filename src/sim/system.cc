@@ -120,6 +120,13 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
             e->setProfiler(profiler_.get());
     }
 
+    // Private event ring: keeps concurrent runs off the global sink
+    // (installed as the thread's current sink during run()).
+    if (cfg_.traceCapacity > 0) {
+        traceSink_ = std::make_unique<TraceSink>();
+        traceSink_->enable(cfg_.traceCapacity);
+    }
+
     // Core c starts on walker c; a single time-sliced core starts on
     // slice 0 and rotates during run().
     if (cfg_.functional) {
@@ -269,16 +276,18 @@ System::runFunctional(std::uint64_t targetInstrs)
                 hierarchy_->dataAccess(c, rec.dataAddr,
                                        rec.op == OpClass::Store,
                                        now_);
-            if (rec.op == OpClass::Call ||
-                rec.op == OpClass::Jump ||
-                rec.op == OpClass::Return) {
+            if (engines_[c]->wantsFunctionEvents() &&
+                (rec.op == OpClass::Call ||
+                 rec.op == OpClass::Jump ||
+                 rec.op == OpClass::Return)) {
                 FunctionEvent fe;
                 fe.isReturn = rec.op == OpClass::Return;
                 fe.sitePc = rec.pc;
                 fe.target = rec.target;
                 engines_[c]->onFunction(fe);
             }
-            if (rec.op == OpClass::CondBranch) {
+            if (engines_[c]->wantsBranchEvents() &&
+                rec.op == OpClass::CondBranch) {
                 BranchEvent be;
                 be.branchPc = rec.pc;
                 be.takenTarget = rec.target;
@@ -359,6 +368,12 @@ System::collect() const
     return r;
 }
 
+TraceSink &
+System::activeTraceSink() const
+{
+    return traceSink_ ? *traceSink_ : TraceSink::current();
+}
+
 void
 System::beginMeasurement()
 {
@@ -368,8 +383,8 @@ System::beginMeasurement()
     // Align the event trace with the counters: the retained ring
     // covers the measurement window only, so offline analysis of the
     // trace is directly comparable to the reported counters.
-    if (TraceSink::global().enabled())
-        TraceSink::global().clear();
+    if (activeTraceSink().enabled())
+        activeTraceSink().clear();
     measureInstrBase_ = progress();
     measureCycleBase_ = now_;
     if (!cfg_.functional && !cores_.empty())
@@ -385,6 +400,10 @@ System::beginMeasurement()
 SimResults
 System::run()
 {
+    // Route IPREF_TRACE sites on this thread into the owned sink (if
+    // any) for the duration of the run.
+    TraceSinkScope traceScope(traceSink_.get());
+
     using clock = std::chrono::steady_clock;
     auto seconds = [](clock::time_point a, clock::time_point b) {
         return std::chrono::duration<double>(b - a).count();
@@ -597,7 +616,7 @@ System::dumpJson(std::ostream &os) const
     }
 
     // --- tracing summary (only meaningful when enabled) ---------------
-    const TraceSink &sink = TraceSink::global();
+    const TraceSink &sink = activeTraceSink();
     os << "  \"trace\": {\"enabled\": "
        << (sink.enabled() ? "true" : "false")
        << ", \"recorded\": " << sink.recorded()

@@ -19,6 +19,7 @@ namespace ipref
 {
 
 class FetchProfiler;
+class TraceSink;
 
 /** Wall-clock / throughput profile of the most recent run(). */
 struct PhaseProfile
@@ -85,6 +86,10 @@ class System
     /** Per-site fetch profiler (nullptr when cfg.profileSites == 0). */
     FetchProfiler *profiler() { return profiler_.get(); }
     const FetchProfiler *profiler() const { return profiler_.get(); }
+
+    /** Owned per-run sink (nullptr when cfg.traceCapacity == 0). */
+    TraceSink *traceSink() { return traceSink_.get(); }
+    const TraceSink *traceSink() const { return traceSink_.get(); }
     OoOCore &cpuCore(CoreId core) { return *cores_[core]; }
     Workload &workload(std::size_t i) { return *workloads_[i]; }
     std::size_t workloadCount() const { return workloads_.size(); }
@@ -112,6 +117,9 @@ class System
     /** Snapshot all counters into a SimResults (measure-relative). */
     SimResults collect() const;
 
+    /** The sink this run's events land in (owned or thread-current). */
+    TraceSink &activeTraceSink() const;
+
     /** Reset registered stats at the warm-up/measure boundary. */
     void beginMeasurement();
 
@@ -130,6 +138,7 @@ class System
     std::vector<std::unique_ptr<PrefetchEngine>> engines_;
     std::vector<std::unique_ptr<OoOCore>> cores_;
     std::unique_ptr<FetchProfiler> profiler_;
+    std::unique_ptr<TraceSink> traceSink_;
 
     /** Functional-mode per-core fetch state. */
     struct FuncState

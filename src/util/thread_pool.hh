@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A small reusable fixed-size thread pool for embarrassingly
+ * parallel work (the parallel experiment runner, offline analysis).
+ *
+ * Tasks are submitted as callables and their results retrieved
+ * through std::future, so exceptions thrown by a task propagate to
+ * whoever calls get(). With zero or one worker the pool degenerates
+ * to inline execution at submit() time — same semantics, no threads —
+ * which keeps single-job runs bit-for-bit identical to never having
+ * had a pool at all.
+ */
+
+#ifndef IPREF_UTIL_THREAD_POOL_HH
+#define IPREF_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ipref
+{
+
+/** Fixed-size worker pool; join-on-destruction. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 or 1 means "run tasks inline on
+     *                the submitting thread" (no workers are started).
+     */
+    explicit ThreadPool(unsigned threads)
+    {
+        if (threads <= 1)
+            return;
+        workers_.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Started worker threads (0 = inline mode). */
+    unsigned
+    threads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Enqueue @p fn; the returned future yields its result (or
+     * rethrows its exception). In inline mode the task runs before
+     * submit() returns.
+     */
+    template <typename F>
+    std::future<std::invoke_result_t<F>>
+    submit(F &&fn)
+    {
+        using R = std::invoke_result_t<F>;
+        // shared_ptr wrapper: packaged_task is move-only but
+        // std::function requires a copyable callable.
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        if (workers_.empty()) {
+            (*task)();
+            return future;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        while (true) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock, [this] {
+                    return stopping_ || !queue_.empty();
+                });
+                if (queue_.empty())
+                    return; // stopping, queue drained
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            task();
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace ipref
+
+#endif // IPREF_UTIL_THREAD_POOL_HH

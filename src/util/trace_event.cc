@@ -94,11 +94,5 @@ TraceSink::writeJsonLines(std::ostream &os) const
     }
 }
 
-TraceSink &
-TraceSink::global()
-{
-    static TraceSink sink;
-    return sink;
-}
 
 } // namespace ipref

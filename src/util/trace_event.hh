@@ -111,8 +111,19 @@ struct TraceEvent
 };
 
 /**
- * Ring-buffered event sink. Disabled (capacity 0) by default; the
- * global() instance is what instrumented components write into.
+ * Ring-buffered event sink. Disabled (capacity 0) by default.
+ * Instrumented components write into current(): a thread-local
+ * pointer that defaults to the process-wide global() sink and can be
+ * redirected to a per-run sink (System installs its own sink for the
+ * duration of run() when SystemConfig::traceCapacity > 0).
+ *
+ * Thread-ownership rule: a TraceSink is single-threaded state. Every
+ * sink is owned by exactly one run (System) and is only ever recorded
+ * into by the thread executing that run; concurrent runs each install
+ * their own sink as current() on their own thread, so ring insertion
+ * needs no locks. The global() sink is an explicit single-threaded
+ * opt-in alias — enabling it while simulations run on multiple
+ * threads is unsupported (those threads would race on one ring).
  */
 class TraceSink
 {
@@ -192,13 +203,39 @@ class TraceSink
     /** Forget buffered events and totals; keep the ring. */
     void clear();
 
-    /** The process-wide sink instrumentation writes into. */
-    static TraceSink &global();
+    /** The process-wide default sink (single-threaded use only). */
+    static TraceSink &global() { return globalSink_; }
+
+    /** The calling thread's active sink (global() by default). */
+    static TraceSink &
+    current()
+    {
+        TraceSink *sink = currentSink_;
+        return sink ? *sink : globalSink_;
+    }
+
+    /**
+     * Redirect the calling thread's instrumentation to @p sink
+     * (nullptr = back to global()). @return the previous override.
+     * Prefer the RAII TraceSinkScope.
+     */
+    static TraceSink *
+    setCurrent(TraceSink *sink)
+    {
+        TraceSink *prev = currentSink_;
+        currentSink_ = sink;
+        return prev;
+    }
 
     /** Sentinel cycle: "use the setNow() hint". */
     static constexpr Cycle traceNowHint = ~static_cast<Cycle>(0);
 
   private:
+    static inline thread_local TraceSink *currentSink_ = nullptr;
+    /** Constant-initialized so trace sites skip the function-local
+     *  static guard a Meyers singleton would cost on every event. */
+    static TraceSink globalSink_;
+
     std::vector<TraceEvent> ring_;
     std::size_t head_ = 0;
     std::uint64_t recorded_ = 0;
@@ -207,6 +244,32 @@ class TraceSink
     std::array<std::uint64_t,
                static_cast<std::size_t>(TraceEventType::NumTypes)>
         countsByType_{};
+};
+
+inline constinit TraceSink TraceSink::globalSink_{};
+
+/** RAII: install @p sink as the thread's current() for a scope. */
+class TraceSinkScope
+{
+  public:
+    /** @p sink may be nullptr: the scope is then a no-op. */
+    explicit TraceSinkScope(TraceSink *sink)
+        : installed_(sink != nullptr),
+          prev_(installed_ ? TraceSink::setCurrent(sink) : nullptr)
+    {}
+
+    ~TraceSinkScope()
+    {
+        if (installed_)
+            TraceSink::setCurrent(prev_);
+    }
+
+    TraceSinkScope(const TraceSinkScope &) = delete;
+    TraceSinkScope &operator=(const TraceSinkScope &) = delete;
+
+  private:
+    bool installed_;
+    TraceSink *prev_;
 };
 
 } // namespace ipref
@@ -222,13 +285,13 @@ class TraceSink
 #if IPREF_TRACE_EVENTS
 #define IPREF_TRACE(...)                                               \
     do {                                                               \
-        ::ipref::TraceSink &ts_ = ::ipref::TraceSink::global();        \
+        ::ipref::TraceSink &ts_ = ::ipref::TraceSink::current();       \
         if (ts_.enabled())                                             \
             ts_.record(__VA_ARGS__);                                   \
     } while (0)
 #define IPREF_TRACE_SETNOW(now)                                        \
     do {                                                               \
-        ::ipref::TraceSink &ts_ = ::ipref::TraceSink::global();        \
+        ::ipref::TraceSink &ts_ = ::ipref::TraceSink::current();       \
         if (ts_.enabled())                                             \
             ts_.setNow(now);                                           \
     } while (0)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <map>
+#include <mutex>
 
 #include "util/logging.hh"
 
@@ -167,8 +168,13 @@ presetConfig(WorkloadKind kind)
 std::shared_ptr<const ProgramCfg>
 buildProgram(WorkloadKind kind)
 {
+    // Shared, lazily-built cache: guarded so Systems constructed
+    // concurrently (the parallel experiment runner) don't race. The
+    // cached programs themselves are immutable.
+    static std::mutex cacheMutex;
     static std::map<WorkloadKind, std::shared_ptr<const ProgramCfg>>
         cache;
+    std::lock_guard<std::mutex> lock(cacheMutex);
     auto it = cache.find(kind);
     if (it != cache.end())
         return it->second;

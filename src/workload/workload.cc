@@ -19,6 +19,7 @@ Workload::Workload(std::shared_ptr<const ProgramCfg> prog,
                prog_->config().hotDataZipfAlpha)
 {
     const WorkloadConfig &cfg = prog_->config();
+    coldWrap_ = std::max<std::uint64_t>(64, cfg.coldDataBytes);
     hotBase_ = cfg.dataBase + dataOffset_;
     warmBase_ = hotBase_ + alignUp(cfg.hotDataBytes, 1u << 20);
     coldBase_ = warmBase_ + alignUp(cfg.warmDataBytes, 1u << 20);
@@ -84,9 +85,12 @@ Workload::genDataAddr()
         return warmBase_ + line * 64 + (rng_.below(16) * 4);
     }
     // Cold/streaming: walk through the region at word granularity
-    // (a scan touches each line ~16 times before moving on).
-    coldCursor_ = (coldCursor_ + 4) % std::max<std::uint64_t>(
-                                          64, cfg.coldDataBytes);
+    // (a scan touches each line ~16 times before moving on). The
+    // cursor stays below coldWrap_ and advances by 4 <= coldWrap_, so
+    // a single conditional subtract equals the modulo it replaces.
+    coldCursor_ += 4;
+    if (coldCursor_ >= coldWrap_)
+        coldCursor_ -= coldWrap_;
     return coldBase_ + alignDown(coldCursor_, 4);
 }
 

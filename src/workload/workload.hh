@@ -102,6 +102,7 @@ class Workload : public TraceSource
 
     ZipfSampler hotZipf_;
     std::uint64_t coldCursor_ = 0;
+    std::uint64_t coldWrap_ = 64; //!< cold-region size (cursor modulus)
 
     Addr hotBase_ = 0;
     Addr warmBase_ = 0;

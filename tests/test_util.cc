@@ -6,8 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 
 #include "util/bitutil.hh"
 #include "util/histogram.hh"
@@ -15,6 +19,7 @@
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 using namespace ipref;
 
@@ -417,4 +422,66 @@ TEST(HashString, StableAndDistinct)
 {
     EXPECT_EQ(hashString("abc"), hashString("abc"));
     EXPECT_NE(hashString("abc"), hashString("abd"));
+}
+
+TEST(ThreadPool, ResultsMatchSubmissionOrder)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(pool.submit([i] {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds((64 - i) * 10));
+            return i * i;
+        }));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] { return 7; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline)
+{
+    // threads <= 1 executes at submit() time on the calling thread.
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 0u);
+    std::thread::id caller = std::this_thread::get_id();
+    auto fut = pool.submit([] { return std::this_thread::get_id(); });
+    EXPECT_EQ(fut.get(), caller);
+}
+
+TEST(ThreadPool, RunsAllTasksAcrossWorkers)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.threads(), 3u);
+    std::atomic<int> count{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([&count] { ++count; }));
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                ++count;
+            });
+    }
+    EXPECT_EQ(count.load(), 50);
 }
