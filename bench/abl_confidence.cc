@@ -70,5 +70,5 @@ main(int argc, char **argv)
         }
     }
     ctx.emit(t);
-    return 0;
+    return ctx.exitCode();
 }

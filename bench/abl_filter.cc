@@ -70,5 +70,5 @@ main(int argc, char **argv)
                Table::num(speedup(base, r), 3) + "X"});
     }
     ctx.emit(t);
-    return 0;
+    return ctx.exitCode();
 }

@@ -84,5 +84,5 @@ main(int argc, char **argv)
         t.row(row);
     }
     ctx.emit(t);
-    return 0;
+    return ctx.exitCode();
 }

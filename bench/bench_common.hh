@@ -18,6 +18,17 @@
  *   --trace-events N     keep the last N structured trace events
  *   --trace-out FILE     trace destination (JSON lines)
  *   --profile-sites K    track the K hottest miss sites / edges
+ *   --retries N          attempts per run; transient failures back
+ *                        off and retry (default 1 = no retries)
+ *   --timeout-ms N       per-run deadline; runaway runs are marked
+ *                        timed out instead of hanging the batch
+ *   --manifest FILE      campaign checkpoint written atomically
+ *                        after every run
+ *   --resume             skip runs the manifest already completed
+ *
+ * A failed run no longer kills the whole bench: the failure is
+ * reported on stderr, its table cells read zero, and main should
+ * `return ctx.exitCode();` (non-zero iff any run failed).
  */
 
 #ifndef IPREF_BENCH_BENCH_COMMON_HH
@@ -45,6 +56,13 @@ struct BenchContext
         csv = opts.getBool("csv");
         jobs = static_cast<unsigned>(opts.getUint("jobs", 0));
 
+        batch.jobs = jobs;
+        batch.maxAttempts = static_cast<unsigned>(
+            opts.getUint("retries", 1));
+        batch.runTimeoutMs = opts.getUint("timeout-ms", 0);
+        batch.manifestPath = opts.getString("manifest");
+        batch.resume = opts.getBool("resume");
+
         ObservabilityOptions obs;
         obs.jsonPath = opts.getString("stats-json");
         obs.intervalInstrs = opts.getUint("stats-interval", 0);
@@ -55,12 +73,34 @@ struct BenchContext
         setObservability(obs);
     }
 
-    /** Run a batch of specs on the --jobs pool, in input order. */
+    /**
+     * Run a batch of specs on the --jobs pool, in input order, inside
+     * per-run failure domains: a corrupt trace, a thrown SimError or
+     * a deadline overrun fails that run alone. Failures are reported
+     * on stderr and their result slots are zero; check exitCode().
+     */
     std::vector<SimResults>
     run(const std::vector<RunSpec> &specs) const
     {
-        return runSpecs(specs, jobs);
+        std::vector<RunOutcome> outcomes = runBatch(specs, batch);
+        std::vector<SimResults> results(outcomes.size());
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            if (outcomes[i].ok()) {
+                results[i] = outcomes[i].results;
+                continue;
+            }
+            ++failures;
+            std::cerr << "run " << i << "/" << outcomes.size()
+                      << " " << runStatusName(outcomes[i].status)
+                      << " after " << outcomes[i].attempts
+                      << " attempt(s): " << outcomes[i].error
+                      << "\n";
+        }
+        return results;
     }
+
+    /** 0 when every run so far completed, 1 otherwise. */
+    int exitCode() const { return failures == 0 ? 0 : 1; }
 
     /** Emit a finished table in the chosen format. */
     void
@@ -76,7 +116,9 @@ struct BenchContext
     Options opts;
     double scale = 1.0;
     bool csv = false;
-    unsigned jobs = 0; //!< 0 = hardware concurrency
+    unsigned jobs = 0;     //!< 0 = hardware concurrency
+    BatchOptions batch;            //!< retry / timeout / checkpoint knobs
+    mutable unsigned failures = 0; //!< non-Ok outcomes seen by run()
 };
 
 /** Speedup of @p x over @p base (paper's "performance improvement"). */

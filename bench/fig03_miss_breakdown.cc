@@ -74,5 +74,5 @@ main(int argc, char **argv)
                    "Figure 3(iii): L2 instruction miss breakdown "
                    "(4-way CMP)",
                    true, true, true);
-    return 0;
+    return ctx.exitCode();
 }

@@ -101,5 +101,5 @@ main(int argc, char **argv)
                "Figure 4(ii): speedup from eliminating misses "
                "(4-way CMP)",
                true, true);
-    return 0;
+    return ctx.exitCode();
 }

@@ -80,5 +80,5 @@ main(int argc, char **argv)
               "Figure 5(iii): L2 instruction miss rate, normalized "
               "(4-way CMP)",
               true, true, true);
-    return 0;
+    return ctx.exitCode();
 }

@@ -74,5 +74,5 @@ main(int argc, char **argv)
                  "Figure 6(ii): prefetcher speedups, no L2 bypass "
                  "(4-way CMP)",
                  true, true, false);
-    return 0;
+    return ctx.exitCode();
 }

@@ -74,5 +74,5 @@ main(int argc, char **argv)
                    "Figure 7(ii): L2 data miss rate, normalized to no "
                    "prefetch (4-way CMP)",
                    true, true);
-    return 0;
+    return ctx.exitCode();
 }

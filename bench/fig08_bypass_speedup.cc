@@ -75,5 +75,5 @@ main(int argc, char **argv)
                 "Figure 8(ii): prefetcher speedups with L2-bypass "
                 "prefetches (4-way CMP)",
                 true, true);
-    return 0;
+    return ctx.exitCode();
 }

@@ -90,5 +90,5 @@ main(int argc, char **argv)
     }
     ctx.emit(acc);
     ctx.emit(perf);
-    return 0;
+    return ctx.exitCode();
 }

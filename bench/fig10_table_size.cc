@@ -97,5 +97,5 @@ main(int argc, char **argv)
     }
     ctx.emit(l1);
     ctx.emit(l2);
-    return 0;
+    return ctx.exitCode();
 }

@@ -114,5 +114,5 @@ main(int argc, char **argv)
     }
     out << "  ]\n}\n";
     std::cout << "throughput report written to " << out_path << "\n";
-    return 0;
+    return ctx.exitCode();
 }

@@ -23,7 +23,7 @@ using namespace ipref;
 
 int
 main(int argc, char **argv)
-{
+try {
     Options opts(argc, argv);
     WorkloadKind kind =
         parseWorkloadKind(opts.getString("workload", "db"));
@@ -95,4 +95,8 @@ main(int argc, char **argv)
                  "more accurate 2NL variant closes on (or passes) "
                  "the 4-line configuration as GB/s falls.\n";
     return 0;
+} catch (const SimError &e) {
+    std::cerr << "error (" << errorKindName(e.kind())
+              << "): " << e.what() << "\n";
+    return 1;
 }

@@ -57,7 +57,7 @@ report(const char *label, const SimResults &r, const SimResults *base)
 
 int
 main(int argc, char **argv)
-{
+try {
     Options opts(argc, argv);
     std::string w = opts.getString("workload", "mixed");
 
@@ -109,4 +109,8 @@ main(int argc, char **argv)
               << aggressive.ipc / base.ipc << "X to "
               << bypass.ipc / base.ipc << "X.\n";
     return 0;
+} catch (const SimError &e) {
+    std::cerr << "error (" << errorKindName(e.kind())
+              << "): " << e.what() << "\n";
+    return 1;
 }

@@ -21,7 +21,7 @@ using namespace ipref;
 
 int
 main(int argc, char **argv)
-{
+try {
     Options opts(argc, argv);
     WorkloadKind kind =
         parseWorkloadKind(opts.getString("workload", "db"));
@@ -104,4 +104,8 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
     return 0;
+} catch (const SimError &e) {
+    std::cerr << "error (" << errorKindName(e.kind())
+              << "): " << e.what() << "\n";
+    return 1;
 }

@@ -25,7 +25,7 @@ using namespace ipref;
 
 int
 main(int argc, char **argv)
-{
+try {
     Options opts(argc, argv);
 
     ObservabilityOptions obs;
@@ -151,4 +151,8 @@ main(int argc, char **argv)
                   << sink->recorded() << " recorded)\n";
     }
     return 0;
+} catch (const SimError &e) {
+    std::cerr << "error (" << errorKindName(e.kind())
+              << "): " << e.what() << "\n";
+    return 1;
 }

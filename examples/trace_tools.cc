@@ -6,7 +6,10 @@
  *
  * Usage:
  *   trace_tools [--workload db] [--instrs N] [--save path]
- *               [--load path]
+ *               [--load path] [--tolerant]
+ *
+ * --tolerant salvages the valid prefix of a damaged trace (with a
+ * warning) instead of failing; any error exits 1 with a message.
  */
 
 #include <iostream>
@@ -57,14 +60,22 @@ concentration(TraceSource &src, std::uint64_t n)
 
 int
 main(int argc, char **argv)
-{
+try {
     Options opts(argc, argv);
     std::uint64_t n = opts.getUint("instrs", 3'000'000);
 
     if (opts.has("load")) {
-        TraceFileReader reader(opts.getString("load"));
+        TraceReadMode mode = opts.getBool("tolerant")
+                                 ? TraceReadMode::Tolerant
+                                 : TraceReadMode::Strict;
+        TraceFileReader reader(opts.getString("load"), mode);
         TraceSummary s = summarizeTrace(reader, n);
         s.print(std::cout);
+        if (reader.corrupt())
+            std::cerr << "warning: trace damaged, salvaged "
+                      << reader.delivered() << " of "
+                      << reader.count() << " records ("
+                      << reader.corruptionDetail() << ")\n";
         return 0;
     }
 
@@ -90,4 +101,8 @@ main(int argc, char **argv)
     std::cout << "transactions completed: "
               << wl->transactionsCompleted() << "\n";
     return 0;
+} catch (const SimError &e) {
+    std::cerr << "error (" << errorKindName(e.kind())
+              << "): " << e.what() << "\n";
+    return 1;
 }

@@ -1,6 +1,7 @@
 #include "cache/cache.hh"
 
 #include "util/bitutil.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -12,17 +13,17 @@ SetAssocCache::SetAssocCache(const CacheParams &params)
       randState_(hashString(params.name) | 1)
 {
     if (!isPowerOfTwo(params_.lineBytes))
-        ipref_fatal("%s: line size %u not a power of two",
+        ipref_raise(ConfigError, "%s: line size %u not a power of two",
                     params_.name.c_str(), params_.lineBytes);
     if (params_.sizeBytes %
             (static_cast<std::uint64_t>(params_.assoc) *
              params_.lineBytes) != 0)
-        ipref_fatal("%s: size %llu not divisible by assoc*line",
+        ipref_raise(ConfigError, "%s: size %llu not divisible by assoc*line",
                     params_.name.c_str(),
                     static_cast<unsigned long long>(params_.sizeBytes));
     numSets_ = params_.numSets();
     if (!isPowerOfTwo(numSets_))
-        ipref_fatal("%s: %llu sets (must be a power of two)",
+        ipref_raise(ConfigError, "%s: %llu sets (must be a power of two)",
                     params_.name.c_str(),
                     static_cast<unsigned long long>(numSets_));
     lineShift_ = floorLog2(params_.lineBytes);

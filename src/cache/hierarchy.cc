@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 #include "util/trace_event.hh"
 
@@ -14,10 +15,10 @@ CacheHierarchy::CacheHierarchy(const HierarchyParams &params)
       memory_(params.memory)
 {
     if (params_.numCores == 0)
-        ipref_fatal("hierarchy needs at least one core");
+        ipref_raise(ConfigError, "hierarchy needs at least one core");
     if (params_.l1i.lineBytes != params_.l2.lineBytes ||
         params_.l1d.lineBytes != params_.l2.lineBytes)
-        ipref_fatal("hierarchy requires a uniform line size "
+        ipref_raise(ConfigError, "hierarchy requires a uniform line size "
                     "(standalone caches support mixed sizes)");
     for (unsigned c = 0; c < params_.numCores; ++c) {
         CacheParams pi = params_.l1i;

@@ -1,6 +1,7 @@
 #include "cpu/branch_predictor.hh"
 
 #include "util/bitutil.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace ipref
@@ -9,7 +10,7 @@ namespace ipref
 GsharePredictor::GsharePredictor(std::uint32_t entries)
 {
     if (!isPowerOfTwo(entries))
-        ipref_fatal("gshare entries must be a power of two");
+        ipref_raise(ConfigError, "gshare entries must be a power of two");
     table_.assign(entries, 2); // weakly taken
     mask_ = entries - 1;
 }
@@ -48,7 +49,7 @@ GsharePredictor::update(Addr pc, bool taken)
 Btb::Btb(std::uint32_t entries)
 {
     if (!isPowerOfTwo(entries))
-        ipref_fatal("BTB entries must be a power of two");
+        ipref_raise(ConfigError, "BTB entries must be a power of two");
     table_.assign(entries, 0);
     mask_ = entries - 1;
 }

@@ -1,6 +1,7 @@
 #include "cpu/tlb.hh"
 
 #include "util/bitutil.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace ipref
@@ -12,9 +13,9 @@ TlbLevel::TlbLevel(unsigned entries, unsigned assoc, unsigned pageBytes)
     ipref_assert(entries % assoc == 0);
     numSets_ = entries / assoc;
     if (!isPowerOfTwo(numSets_))
-        ipref_fatal("TLB sets must be a power of two");
+        ipref_raise(ConfigError, "TLB sets must be a power of two");
     if (!isPowerOfTwo(pageBytes))
-        ipref_fatal("page size must be a power of two");
+        ipref_raise(ConfigError, "page size must be a power of two");
     pageShift_ = floorLog2(pageBytes);
     entries_.resize(entries);
 }

@@ -1,6 +1,7 @@
 #include "prefetch/call_graph.hh"
 
 #include "util/bitutil.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace ipref
@@ -15,7 +16,7 @@ CallGraphPrefetcher::CallGraphPrefetcher(unsigned entries,
       lineBytes_(lineBytes)
 {
     if (!isPowerOfTwo(entries))
-        ipref_fatal("call-graph table entries (%u) must be a power "
+        ipref_raise(ConfigError, "call-graph table entries (%u) must be a power "
                     "of two", entries);
     ipref_assert(calleeSlots_ >= 1);
     ipref_assert(degree_ >= 1);

@@ -1,6 +1,7 @@
 #include "prefetch/confidence_filter.hh"
 
 #include "util/bitutil.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace ipref
@@ -13,7 +14,7 @@ ConfidenceFilter::ConfidenceFilter(unsigned entries,
     : threshold_(threshold)
 {
     if (!isPowerOfTwo(entries))
-        ipref_fatal("confidence filter entries (%u) must be a power "
+        ipref_raise(ConfigError, "confidence filter entries (%u) must be a power "
                     "of two", entries);
     ipref_assert(threshold <= counterMax);
     ipref_assert(initial <= counterMax);

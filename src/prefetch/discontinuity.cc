@@ -1,6 +1,7 @@
 #include "prefetch/discontinuity.hh"
 
 #include "util/bitutil.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 #include "util/trace_event.hh"
 
@@ -11,7 +12,7 @@ DiscontinuityPredictor::DiscontinuityPredictor(unsigned entries,
                                                unsigned lineBytes)
 {
     if (!isPowerOfTwo(entries))
-        ipref_fatal("discontinuity table entries (%u) must be a power "
+        ipref_raise(ConfigError, "discontinuity table entries (%u) must be a power "
                     "of two", entries);
     table_.resize(entries);
     lineShift_ = floorLog2(lineBytes);

@@ -5,6 +5,7 @@
 #include "prefetch/target_prefetcher.hh"
 #include "prefetch/call_graph.hh"
 #include "prefetch/wrong_path.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace ipref
@@ -64,7 +65,7 @@ parseScheme(const std::string &name)
         return PrefetchScheme::WrongPath;
     if (name == "call-graph" || name == "cgp")
         return PrefetchScheme::CallGraph;
-    ipref_fatal("unknown prefetch scheme '%s'", name.c_str());
+    ipref_raise(ConfigError, "unknown prefetch scheme '%s'", name.c_str());
 }
 
 std::unique_ptr<InstructionPrefetcher>
@@ -103,7 +104,7 @@ createPrefetcher(const PrefetchConfig &cfg)
             cfg.tableEntries, /*calleeSlots=*/8,
             std::min(cfg.degree, 2u), cfg.lineBytes);
     }
-    ipref_fatal("bad prefetch scheme");
+    ipref_raise(InvariantError, "bad prefetch scheme");
 }
 
 } // namespace ipref

@@ -1,6 +1,7 @@
 #include "prefetch/target_prefetcher.hh"
 
 #include "util/bitutil.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace ipref
@@ -12,7 +13,7 @@ TargetPrefetcher::TargetPrefetcher(unsigned entries, unsigned ways,
       nonSeqOnly_(nonSeqOnly)
 {
     if (!isPowerOfTwo(entries))
-        ipref_fatal("target table entries (%u) must be a power of two",
+        ipref_raise(ConfigError, "target table entries (%u) must be a power of two",
                     entries);
     ipref_assert(ways_ >= 1);
     table_.resize(entries);

@@ -1,0 +1,342 @@
+#include "sim/campaign.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "sim/experiment.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace ipref
+{
+
+namespace
+{
+
+/** Scalar counters of SimResults, by manifest key. */
+struct U64Field
+{
+    const char *name;
+    std::uint64_t SimResults::*ptr;
+};
+
+constexpr U64Field u64Fields[] = {
+    {"instructions", &SimResults::instructions},
+    {"cycles", &SimResults::cycles},
+    {"fetch_line_accesses", &SimResults::fetchLineAccesses},
+    {"l1i_misses", &SimResults::l1iMisses},
+    {"l1i_eliminated", &SimResults::l1iEliminated},
+    {"l1i_first_use_hits", &SimResults::l1iFirstUseHits},
+    {"l1i_late_hits", &SimResults::l1iLateHits},
+    {"l2i_misses", &SimResults::l2iMisses},
+    {"l1d_accesses", &SimResults::l1dAccesses},
+    {"l1d_misses", &SimResults::l1dMisses},
+    {"l2d_misses", &SimResults::l2dMisses},
+    {"pf_candidates", &SimResults::pfCandidates},
+    {"pf_issued", &SimResults::pfIssued},
+    {"pf_issued_off_chip", &SimResults::pfIssuedOffChip},
+    {"pf_useful", &SimResults::pfUseful},
+    {"pf_late", &SimResults::pfLate},
+    {"pf_useless", &SimResults::pfUseless},
+    {"pf_filtered", &SimResults::pfFiltered},
+    {"pf_tag_probes", &SimResults::pfTagProbes},
+    {"pf_tag_probe_hits", &SimResults::pfTagProbeHits},
+    {"bypass_installs", &SimResults::bypassInstalls},
+    {"bypass_drops", &SimResults::bypassDrops},
+    {"mem_reads", &SimResults::memReads},
+    {"mem_prefetch_reads", &SimResults::memPrefetchReads},
+    {"mem_writes", &SimResults::memWrites},
+    {"mem_queue_delay_cycles", &SimResults::memQueueDelayCycles},
+    {"branch_ctis", &SimResults::branchCtis},
+    {"branch_mispredicts", &SimResults::branchMispredicts},
+};
+
+template <std::size_t N>
+void
+emitArray(std::ostream &os, const char *name,
+          const std::array<std::uint64_t, N> &arr, bool &first)
+{
+    os << (first ? "" : ", ") << jsonString(name) << ": [";
+    first = false;
+    for (std::size_t i = 0; i < N; ++i)
+        os << (i ? ", " : "") << jsonString(jsonHex(arr[i]));
+    os << "]";
+}
+
+template <std::size_t N>
+bool
+parseArray(const JsonValue &v, const char *name,
+           std::array<std::uint64_t, N> &arr, std::string &err)
+{
+    if (!v.has(name)) {
+        err = std::string("missing array: ") + name;
+        return false;
+    }
+    const JsonValue &a = v.at(name);
+    if (a.kind != JsonValue::Array || a.items.size() != N) {
+        err = std::string("bad array: ") + name;
+        return false;
+    }
+    for (std::size_t i = 0; i < N; ++i)
+        arr[i] = a.items[i].asUint();
+    return true;
+}
+
+} // namespace
+
+const char *
+runStatusName(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::Ok: return "ok";
+      case RunStatus::Failed: return "failed";
+      case RunStatus::TimedOut: return "timed_out";
+      case RunStatus::Interrupted: return "interrupted";
+      default: return "failed";
+    }
+}
+
+RunStatus
+parseRunStatus(const std::string &name)
+{
+    if (name == "ok")
+        return RunStatus::Ok;
+    if (name == "timed_out")
+        return RunStatus::TimedOut;
+    if (name == "interrupted")
+        return RunStatus::Interrupted;
+    return RunStatus::Failed;
+}
+
+std::uint64_t
+fingerprintSpec(const RunSpec &spec)
+{
+    // SplitMix64 chain over every result-affecting field; doubles are
+    // mixed by bit pattern so the fingerprint is exact, not rounded.
+    std::uint64_t h = hashString("ipref.campaign.v1");
+    auto mix = [&h](std::uint64_t v) {
+        std::uint64_t s = h ^ v;
+        h = splitMix64(s);
+    };
+    auto mixDouble = [&](double d) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &d, sizeof(bits));
+        mix(bits);
+    };
+    mix(spec.cmp ? 1 : 0);
+    mix(spec.workloads.size());
+    for (WorkloadKind k : spec.workloads)
+        mix(static_cast<std::uint64_t>(k));
+    mix(static_cast<std::uint64_t>(spec.scheme));
+    mix(spec.degree);
+    mix(spec.tableEntries);
+    mix(spec.targetWays);
+    mix(spec.bypassL2 ? 1 : 0);
+    for (bool b : spec.idealEliminate)
+        mix(b ? 1 : 0);
+    mix(spec.useConfidenceFilter ? 1 : 0);
+    mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(spec.historySize)));
+    mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(spec.queueSize)));
+    mixDouble(spec.memGbPerSec);
+    mix(spec.functional ? 1 : 0);
+    mix(spec.l2Bytes);
+    mix(spec.l1iBytes);
+    mix(spec.l1iAssoc);
+    mix(spec.lineBytes);
+    mixDouble(spec.instrScale);
+    mix(spec.baseSeed);
+    mix(hashString(spec.tracePath));
+    mix(spec.traceTolerant ? 1 : 0);
+    mix(spec.faultAtInstr);
+    mix(spec.faultTransient ? 1 : 0);
+    mix(spec.faultAttempts);
+    return h;
+}
+
+std::string
+resultsToJson(const SimResults &r)
+{
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (const U64Field &f : u64Fields) {
+        os << (first ? "" : ", ") << jsonString(f.name) << ": "
+           << jsonString(jsonHex(r.*f.ptr));
+        first = false;
+    }
+    emitArray(os, "l1i_miss_by_transition", r.l1iMissByTransition,
+              first);
+    emitArray(os, "l2i_miss_by_transition", r.l2iMissByTransition,
+              first);
+    emitArray(os, "pf_issued_by_origin", r.pfIssuedByOrigin, first);
+    emitArray(os, "pf_useful_by_origin", r.pfUsefulByOrigin, first);
+    os << "}";
+    return os.str();
+}
+
+Expected<SimResults>
+resultsFromJson(const JsonValue &v)
+{
+    if (v.kind != JsonValue::Object)
+        return SimError(SimError::Kind::Io,
+                        "manifest results: not an object");
+    SimResults r;
+    try {
+        for (const U64Field &f : u64Fields) {
+            if (!v.has(f.name))
+                return SimError(SimError::Kind::Io,
+                                std::string("manifest results: "
+                                            "missing counter: ") +
+                                    f.name);
+            r.*f.ptr = v.at(f.name).asUint();
+        }
+        std::string err;
+        if (!parseArray(v, "l1i_miss_by_transition",
+                        r.l1iMissByTransition, err) ||
+            !parseArray(v, "l2i_miss_by_transition",
+                        r.l2iMissByTransition, err) ||
+            !parseArray(v, "pf_issued_by_origin", r.pfIssuedByOrigin,
+                        err) ||
+            !parseArray(v, "pf_useful_by_origin", r.pfUsefulByOrigin,
+                        err))
+            return SimError(SimError::Kind::Io,
+                            "manifest results: " + err);
+    } catch (const std::exception &e) {
+        return SimError(SimError::Kind::Io,
+                        std::string("manifest results: ") + e.what());
+    }
+    // Recomputed exactly as System::run() does, so a checkpointed
+    // result is bit-identical to a live one.
+    r.ipc = r.cycles ? static_cast<double>(r.instructions) /
+                           static_cast<double>(r.cycles)
+                     : 0.0;
+    return r;
+}
+
+const ManifestEntry *
+CampaignManifest::find(std::uint64_t fingerprint) const
+{
+    auto it = entries_.find(fingerprint);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+CampaignManifest::record(ManifestEntry entry)
+{
+    auto it = entries_.find(entry.fingerprint);
+    if (it == entries_.end())
+        order_.push_back(entry.fingerprint);
+    entries_[entry.fingerprint] = std::move(entry);
+    if (!path_.empty())
+        write();
+}
+
+void
+CampaignManifest::write() const
+{
+    std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            throw SimError(SimError::Kind::Io,
+                           "cannot write campaign manifest '" + tmp +
+                               "': " + std::strerror(errno),
+                           isTransientErrno(errno));
+        out << "{\n  \"version\": 1,\n  \"runs\": [";
+        bool first = true;
+        for (std::uint64_t fp : order_) {
+            const ManifestEntry &e = entries_.at(fp);
+            out << (first ? "\n" : ",\n") << "    {\"fingerprint\": "
+                << jsonString(jsonHex(e.fingerprint))
+                << ", \"status\": "
+                << jsonString(runStatusName(e.status))
+                << ", \"attempts\": " << e.attempts
+                << ", \"wall_ms\": " << e.wallMs;
+            if (e.status == RunStatus::Ok)
+                out << ", \"results\": " << resultsToJson(e.results);
+            else
+                out << ", \"error_kind\": "
+                    << jsonString(errorKindName(e.errorKind))
+                    << ", \"error\": " << jsonString(e.errorMessage);
+            if (!e.jsonReport.empty())
+                out << ", \"json_report\": "
+                    << jsonString(e.jsonReport);
+            out << "}";
+            first = false;
+        }
+        out << (first ? "" : "\n  ") << "]\n}\n";
+        out.flush();
+        if (!out)
+            throw SimError(SimError::Kind::Io,
+                           "short write on campaign manifest '" + tmp +
+                               "': " + std::strerror(errno),
+                           isTransientErrno(errno));
+    }
+    // rename() is atomic within a filesystem: the manifest is always
+    // either the old complete state or the new complete state.
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+        throw SimError(SimError::Kind::Io,
+                       "cannot replace campaign manifest '" + path_ +
+                           "': " + std::strerror(errno),
+                       isTransientErrno(errno));
+}
+
+Expected<CampaignManifest>
+CampaignManifest::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return SimError(SimError::Kind::Io,
+                        "cannot open campaign manifest '" + path +
+                            "': " + std::strerror(errno),
+                        isTransientErrno(errno));
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    // Built with no path so record() does not rewrite the file we are
+    // in the middle of reading; the path is attached at the end.
+    CampaignManifest m;
+    try {
+        JsonValue doc = parseJson(buf.str());
+        if (doc.numberOr("version", 0) != 1)
+            return SimError(SimError::Kind::Io,
+                            "campaign manifest '" + path +
+                                "': unsupported version");
+        for (const JsonValue &run : doc.at("runs").items) {
+            ManifestEntry e;
+            e.fingerprint = run.at("fingerprint").asUint();
+            e.status = parseRunStatus(run.stringOr("status", ""));
+            e.attempts = static_cast<unsigned>(
+                run.numberOr("attempts", 0));
+            e.wallMs = static_cast<std::uint64_t>(
+                run.numberOr("wall_ms", 0));
+            if (e.status == RunStatus::Ok) {
+                Expected<SimResults> res =
+                    resultsFromJson(run.at("results"));
+                if (!res.ok())
+                    return res.error();
+                e.results = res.value();
+            } else {
+                e.errorKind =
+                    parseErrorKind(run.stringOr("error_kind", ""));
+                e.errorMessage = run.stringOr("error", "");
+            }
+            e.jsonReport = run.stringOr("json_report", "");
+            m.record(std::move(e));
+        }
+    } catch (const std::exception &e) {
+        return SimError(SimError::Kind::Io,
+                        "corrupt campaign manifest '" + path +
+                            "': " + e.what());
+    }
+    m.path_ = path;
+    return m;
+}
+
+} // namespace ipref

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Campaign checkpointing: a JSON manifest mapping spec fingerprints to
+ * completed results, written atomically after every run so an
+ * interrupted batch (crash, SIGKILL, Ctrl-C) can resume without
+ * re-running finished work — and without perturbing the results, which
+ * round-trip bit-exactly (counters are serialized as hex strings).
+ */
+
+#ifndef IPREF_SIM_CAMPAIGN_HH
+#define IPREF_SIM_CAMPAIGN_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "util/error.hh"
+
+namespace ipref
+{
+
+struct RunSpec;
+struct JsonValue;
+
+/** Terminal status of one run in a batch. */
+enum class RunStatus : std::uint8_t
+{
+    Ok,          //!< completed; results are valid
+    Failed,      //!< threw (after exhausting any retries)
+    TimedOut,    //!< exceeded the per-run deadline
+    Interrupted, //!< cancelled by SIGINT / batch shutdown
+};
+
+/** Stable lower-case name ("ok", "failed", ...). */
+const char *runStatusName(RunStatus s);
+
+/** Parse runStatusName() output back (unknown -> Failed). */
+RunStatus parseRunStatus(const std::string &name);
+
+/**
+ * 64-bit fingerprint over every RunSpec field that affects results.
+ * Two specs collide only if they would produce identical runs, so the
+ * manifest can key completed work on it across process restarts.
+ */
+std::uint64_t fingerprintSpec(const RunSpec &spec);
+
+/** Exact JSON serialization of SimResults (counters as hex strings). */
+std::string resultsToJson(const SimResults &r);
+
+/** Inverse of resultsToJson (ipc is recomputed, not stored). */
+Expected<SimResults> resultsFromJson(const JsonValue &v);
+
+/** One run as remembered by the manifest. */
+struct ManifestEntry
+{
+    std::uint64_t fingerprint = 0;
+    RunStatus status = RunStatus::Failed;
+    unsigned attempts = 0;
+    std::uint64_t wallMs = 0;
+    SimError::Kind errorKind = SimError::Kind::Invariant;
+    std::string errorMessage;
+    SimResults results;     //!< valid when status == Ok
+    std::string jsonReport; //!< buffered observability report ("" = none)
+};
+
+/**
+ * The on-disk campaign state. Every record() persists the whole
+ * manifest via temp-file + rename, so a reader never observes a
+ * partially written file no matter when the process dies.
+ */
+class CampaignManifest
+{
+  public:
+    CampaignManifest() = default;
+    explicit CampaignManifest(std::string path) : path_(std::move(path))
+    {}
+
+    /**
+     * Read and parse @p path. A missing, unreadable or corrupt file is
+     * an answer, not an exception (the caller decides whether to start
+     * fresh), hence Expected.
+     */
+    static Expected<CampaignManifest> load(const std::string &path);
+
+    const std::string &path() const { return path_; }
+    std::size_t size() const { return order_.size(); }
+
+    /** Entry for @p fingerprint, or nullptr. */
+    const ManifestEntry *find(std::uint64_t fingerprint) const;
+
+    /** Insert/replace @p entry; persists when a path is set. */
+    void record(ManifestEntry entry);
+
+    /**
+     * Write the manifest atomically (temp-file + rename). Throws
+     * SimError(Io) on failure, transient-flagged when the errno is.
+     */
+    void write() const;
+
+  private:
+    std::string path_;
+    std::vector<std::uint64_t> order_; //!< stable dump order
+    std::map<std::uint64_t, ManifestEntry> entries_;
+};
+
+} // namespace ipref
+
+#endif // IPREF_SIM_CAMPAIGN_HH

@@ -8,7 +8,9 @@
 #define IPREF_SIM_CONFIG_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,21 @@
 
 namespace ipref
 {
+
+/**
+ * Cooperative cancellation shared between a running System and the
+ * batch runner's watchdog. The simulation loops poll stop and throw
+ * SimError(Timeout/Interrupted) when it is raised, so a runaway or
+ * cancelled run unwinds cleanly and frees its pool slot.
+ */
+struct RunControl
+{
+    static constexpr int stopNone = 0;
+    static constexpr int stopTimeout = 1;
+    static constexpr int stopInterrupt = 2;
+
+    std::atomic<int> stop{stopNone};
+};
 
 /** Everything needed to build and run one simulation. */
 struct SystemConfig
@@ -78,6 +95,27 @@ struct SystemConfig
      * lands in the JSON report's "profiler" section.
      */
     unsigned profileSites = 0;
+
+    /**
+     * Trace-driven input: when non-empty, every core replays this
+     * binary trace file (ChampSim-style ingestion) instead of running
+     * a synthetic workload walker; the trace loops on exhaustion.
+     * Corruption surfaces as TraceError unless traceReadTolerant.
+     */
+    std::string tracePath;
+    bool traceReadTolerant = false;
+
+    /** Cancellation handle polled by the run loops (may be null). */
+    std::shared_ptr<RunControl> control;
+
+    /**
+     * Fault-injection test hook: when > 0, throw a SimError once
+     * aggregate progress reaches this instruction count (transient or
+     * not per faultTransient). Exercises the batch runner's failure
+     * domains; never set outside tests.
+     */
+    std::uint64_t faultAtInstr = 0;
+    bool faultTransient = false;
 
     /** Display name of the workload set ("DB", ..., "Mixed"). */
     std::string workloadSetName() const;

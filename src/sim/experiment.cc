@@ -1,13 +1,19 @@
 #include "sim/experiment.hh"
 
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
 #include <utility>
 
+#include "util/json.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 #include "util/thread_pool.hh"
 #include "util/trace_event.hh"
 
@@ -41,9 +47,17 @@ struct RunOutput
 
 /** Build and run one System; no shared state is touched. */
 RunOutput
-produceRun(const RunSpec &spec)
+produceRun(const RunSpec &spec, unsigned attempt = 1,
+           std::shared_ptr<RunControl> control = nullptr)
 {
-    System system(makeConfig(spec));
+    SystemConfig cfg = makeConfig(spec);
+    // Fault-injection gating: with faultAttempts set, the fault fires
+    // only on the first faultAttempts attempts, so a retried (or
+    // resumed) spec eventually succeeds.
+    if (spec.faultAttempts > 0 && attempt > spec.faultAttempts)
+        cfg.faultAtInstr = 0;
+    cfg.control = std::move(control);
+    System system(cfg);
     RunOutput out;
     out.results = system.run();
     if (!g_observability.jsonPath.empty()) {
@@ -89,9 +103,14 @@ flushObservability()
     if (!g_reportsDirty || g_observability.jsonPath.empty())
         return;
     std::ofstream out(g_observability.jsonPath);
-    if (!out)
-        ipref_fatal("cannot write JSON report to '%s'",
-                    g_observability.jsonPath.c_str());
+    if (!out) {
+        // Runs from atexit(): aborting the whole process over a report
+        // it was already exiting from helps nobody — warn and keep the
+        // buffered reports for a later explicit flush.
+        ipref_warn("cannot write JSON report to '%s'",
+                   g_observability.jsonPath.c_str());
+        return;
+    }
     out << "[\n";
     for (std::size_t i = 0; i < g_jsonReports.size(); ++i)
         out << (i ? ",\n" : "") << g_jsonReports[i];
@@ -158,6 +177,11 @@ makeConfig(const RunSpec &spec)
     cfg.profileSites =
         static_cast<unsigned>(g_observability.profileSites);
 
+    cfg.tracePath = spec.tracePath;
+    cfg.traceReadTolerant = spec.traceTolerant;
+    cfg.faultAtInstr = spec.faultAtInstr;
+    cfg.faultTransient = spec.faultTransient;
+
     double scale = spec.instrScale;
     if (spec.functional) {
         cfg.warmupInstrs =
@@ -182,37 +206,345 @@ runSpec(const RunSpec &spec)
     return results;
 }
 
-std::vector<SimResults>
-runSpecs(const std::vector<RunSpec> &specs, unsigned jobs)
+namespace
 {
+
+/** Batch-wide SIGINT latch (async-signal-safe: flag only). */
+volatile std::sig_atomic_t g_batchSigint = 0;
+
+void
+batchSigintHandler(int)
+{
+    g_batchSigint = 1;
+}
+
+/**
+ * One thread watching every in-flight run: raises stopTimeout on runs
+ * past their deadline and stopInterrupt on all of them after SIGINT.
+ * The runs notice cooperatively (System::checkControl) and unwind with
+ * a SimError, so pool slots always drain — no thread is ever killed.
+ */
+class BatchWatchdog
+{
+  public:
+    BatchWatchdog() : thread_([this] { loop(); }) {}
+
+    ~BatchWatchdog()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            done_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+    std::shared_ptr<RunControl>
+    add(std::uint64_t timeoutMs)
+    {
+        Watch w;
+        w.control = std::make_shared<RunControl>();
+        w.hasDeadline = timeoutMs > 0;
+        if (w.hasDeadline)
+            w.deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(timeoutMs);
+        std::lock_guard<std::mutex> lock(mutex_);
+        watches_.push_back(w);
+        return w.control;
+    }
+
+    void
+    remove(const std::shared_ptr<RunControl> &control)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = watches_.begin(); it != watches_.end(); ++it) {
+            if (it->control == control) {
+                watches_.erase(it);
+                return;
+            }
+        }
+    }
+
+  private:
+    struct Watch
+    {
+        std::shared_ptr<RunControl> control;
+        std::chrono::steady_clock::time_point deadline;
+        bool hasDeadline = false;
+    };
+
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!done_) {
+            cv_.wait_for(lock, std::chrono::milliseconds(20));
+            auto now = std::chrono::steady_clock::now();
+            for (Watch &w : watches_) {
+                if (g_batchSigint)
+                    w.control->stop.store(
+                        RunControl::stopInterrupt,
+                        std::memory_order_relaxed);
+                else if (w.hasDeadline && now >= w.deadline)
+                    w.control->stop.store(
+                        RunControl::stopTimeout,
+                        std::memory_order_relaxed);
+            }
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool done_ = false;
+    std::vector<Watch> watches_;
+    std::thread thread_;
+};
+
+/** A worker's full product: the public outcome + buffered output. */
+struct WorkerResult
+{
+    RunOutcome outcome;
+    RunOutput output;
+};
+
+/**
+ * One spec's failure domain: run, catch, classify, retry transient
+ * failures with capped exponential backoff and deterministic jitter.
+ * Attempt numbers continue from @p priorAttempts (a resumed failed
+ * entry), keeping fault gating and jitter reproducible across resume.
+ */
+WorkerResult
+runOne(const RunSpec &spec, std::uint64_t fingerprint,
+       unsigned priorAttempts, const BatchOptions &opt,
+       BatchWatchdog &watchdog)
+{
+    WorkerResult wr;
+    auto t0 = std::chrono::steady_clock::now();
+    unsigned maxAttempts = opt.maxAttempts ? opt.maxAttempts : 1;
+
+    for (unsigned local = 1; local <= maxAttempts; ++local) {
+        unsigned attempt = priorAttempts + local;
+        wr.outcome.attempts = attempt;
+        if (g_batchSigint) {
+            wr.outcome.status = RunStatus::Interrupted;
+            wr.outcome.errorKind = SimError::Kind::Interrupted;
+            wr.outcome.error = "batch interrupted before run";
+            break;
+        }
+
+        std::shared_ptr<RunControl> control =
+            watchdog.add(opt.runTimeoutMs);
+        try {
+            wr.output = produceRun(spec, attempt, control);
+            watchdog.remove(control);
+            wr.outcome.status = RunStatus::Ok;
+            wr.outcome.results = wr.output.results;
+            break;
+        } catch (const SimError &e) {
+            watchdog.remove(control);
+            wr.outcome.error = e.what();
+            wr.outcome.errorKind = e.kind();
+            if (e.kind() == SimError::Kind::Timeout) {
+                wr.outcome.status = RunStatus::TimedOut;
+                break;
+            }
+            if (e.kind() == SimError::Kind::Interrupted) {
+                wr.outcome.status = RunStatus::Interrupted;
+                break;
+            }
+            wr.outcome.status = RunStatus::Failed;
+            if (!e.transient() || local == maxAttempts)
+                break;
+            // Capped exponential backoff; the jitter comes from the
+            // project's deterministic RNG keyed on (fingerprint,
+            // attempt), so a replayed campaign waits identically.
+            std::uint64_t base = opt.retryBaseMs ? opt.retryBaseMs : 1;
+            unsigned shift = local - 1 < 20 ? local - 1 : 20;
+            std::uint64_t delay = base << shift;
+            if (opt.retryCapMs && delay > opt.retryCapMs)
+                delay = opt.retryCapMs;
+            Rng rng(fingerprint ^
+                    (0x9e3779b97f4a7c15ULL * attempt));
+            std::uint64_t jittered =
+                delay / 2 + rng.below(delay / 2 + 1);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(jittered));
+        } catch (const std::exception &e) {
+            watchdog.remove(control);
+            wr.outcome.status = RunStatus::Failed;
+            wr.outcome.errorKind = SimError::Kind::Invariant;
+            wr.outcome.error = e.what();
+            break;
+        }
+    }
+
+    wr.outcome.wallMs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    return wr;
+}
+
+/**
+ * A failed run still appears in the JSON report array, as a small
+ * object carrying the failure instead of results, so a campaign's
+ * report accounts for every spec.
+ */
+void
+commitFailure(std::uint64_t fingerprint, const RunOutcome &outcome)
+{
+    if (g_observability.jsonPath.empty())
+        return;
+    std::ostringstream report;
+    report << "{\"fingerprint\": " << jsonString(jsonHex(fingerprint))
+           << ", \"status\": "
+           << jsonString(runStatusName(outcome.status))
+           << ", \"error_kind\": "
+           << jsonString(errorKindName(outcome.errorKind))
+           << ", \"error\": " << jsonString(outcome.error)
+           << ", \"attempts\": " << outcome.attempts
+           << ", \"wall_ms\": " << outcome.wallMs << "}";
+    std::lock_guard<std::mutex> lock(g_reportMutex);
+    g_jsonReports.push_back(report.str());
+    g_reportsDirty = true;
+}
+
+/** Re-commit a checkpointed run's buffered report, in input order. */
+void
+commitCheckpointed(const ManifestEntry &entry)
+{
+    if (entry.jsonReport.empty())
+        return;
+    std::lock_guard<std::mutex> lock(g_reportMutex);
+    g_jsonReports.push_back(entry.jsonReport);
+    g_reportsDirty = true;
+}
+
+} // namespace
+
+std::vector<RunOutcome>
+runBatch(const std::vector<RunSpec> &specs, const BatchOptions &opt)
+{
+    unsigned jobs = opt.jobs;
     if (jobs == 0)
         jobs = std::thread::hardware_concurrency();
     if (jobs == 0)
         jobs = 1;
     jobs = static_cast<unsigned>(
         std::min<std::size_t>(jobs, specs.size()));
+    if (jobs == 0)
+        jobs = 1;
 
-    std::vector<SimResults> results;
-    results.reserve(specs.size());
-
-    if (jobs <= 1) {
-        for (const RunSpec &spec : specs)
-            results.push_back(runSpec(spec));
-        return results;
+    CampaignManifest manifest(opt.manifestPath);
+    if (!opt.manifestPath.empty() && opt.resume) {
+        Expected<CampaignManifest> loaded =
+            CampaignManifest::load(opt.manifestPath);
+        if (loaded.ok())
+            manifest = std::move(loaded.value());
+        else
+            ipref_warn("starting campaign fresh: %s",
+                       loaded.error().what());
     }
 
-    ThreadPool pool(jobs);
-    std::vector<std::future<RunOutput>> futures;
-    futures.reserve(specs.size());
+    std::vector<std::uint64_t> fingerprints;
+    fingerprints.reserve(specs.size());
     for (const RunSpec &spec : specs)
-        futures.push_back(
-            pool.submit([spec] { return produceRun(spec); }));
+        fingerprints.push_back(fingerprintSpec(spec));
 
-    // Collect (and commit side effects) strictly in input order.
-    for (auto &future : futures) {
-        RunOutput out = future.get();
-        results.push_back(out.results);
-        commitRun(std::move(out));
+    g_batchSigint = 0;
+    auto prevHandler = std::signal(SIGINT, batchSigintHandler);
+
+    std::vector<RunOutcome> outcomes(specs.size());
+    {
+        BatchWatchdog watchdog;
+        ThreadPool pool(jobs);
+        std::vector<std::future<WorkerResult>> futures(specs.size());
+        std::vector<const ManifestEntry *> checkpointed(specs.size(),
+                                                        nullptr);
+
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            unsigned prior = 0;
+            if (opt.resume) {
+                const ManifestEntry *e =
+                    manifest.find(fingerprints[i]);
+                if (e && e->status == RunStatus::Ok) {
+                    checkpointed[i] = e;
+                    continue;
+                }
+                prior = e ? e->attempts : 0;
+            }
+            const RunSpec &spec = specs[i];
+            std::uint64_t fp = fingerprints[i];
+            futures[i] = pool.submit([&spec, fp, prior, &opt,
+                                      &watchdog] {
+                return runOne(spec, fp, prior, opt, watchdog);
+            });
+        }
+
+        // Collect strictly in input order: observability commits and
+        // manifest records land deterministically, so the final JSON
+        // report is identical whether runs were live, retried, or
+        // restored from the checkpoint.
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            if (checkpointed[i]) {
+                const ManifestEntry &e = *checkpointed[i];
+                RunOutcome &o = outcomes[i];
+                o.status = RunStatus::Ok;
+                o.results = e.results;
+                o.attempts = e.attempts;
+                o.wallMs = 0;
+                o.fromCheckpoint = true;
+                commitCheckpointed(e);
+                continue;
+            }
+            WorkerResult wr = futures[i].get();
+            outcomes[i] = wr.outcome;
+
+            if (!opt.manifestPath.empty()) {
+                ManifestEntry e;
+                e.fingerprint = fingerprints[i];
+                e.status = wr.outcome.status;
+                e.attempts = wr.outcome.attempts;
+                e.wallMs = wr.outcome.wallMs;
+                e.errorKind = wr.outcome.errorKind;
+                e.errorMessage = wr.outcome.error;
+                e.results = wr.outcome.results;
+                e.jsonReport = wr.output.jsonReport;
+                try {
+                    manifest.record(std::move(e));
+                } catch (const SimError &err) {
+                    ipref_warn("checkpoint write failed: %s",
+                               err.what());
+                }
+            }
+            if (!wr.outcome.ok())
+                commitFailure(fingerprints[i], wr.outcome);
+            commitRun(std::move(wr.output));
+        }
+    }
+
+    std::signal(SIGINT, prevHandler);
+    return outcomes;
+}
+
+std::vector<SimResults>
+runSpecs(const std::vector<RunSpec> &specs, unsigned jobs)
+{
+    // Compatibility wrapper over the fault-tolerant runner: every run
+    // still executes in its own failure domain (so one bad spec can't
+    // abort in-flight work), but the first failure surfaces as an
+    // exception once the batch has drained.
+    BatchOptions opt;
+    opt.jobs = jobs;
+    opt.maxAttempts = 1;
+    std::vector<RunOutcome> outcomes = runBatch(specs, opt);
+
+    std::vector<SimResults> results;
+    results.reserve(outcomes.size());
+    for (const RunOutcome &outcome : outcomes) {
+        if (!outcome.ok())
+            throw SimError(outcome.errorKind, outcome.error);
+        results.push_back(outcome.results);
     }
     return results;
 }

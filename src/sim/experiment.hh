@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/campaign.hh"
 #include "sim/system.hh"
 
 namespace ipref
@@ -57,6 +58,25 @@ struct RunSpec
     double instrScale = 1.0;
 
     std::uint64_t baseSeed = 1;
+
+    /**
+     * Trace replay: every core replays this binary trace file instead
+     * of a synthetic walker (empty = walkers). Tolerant reads salvage
+     * the valid prefix of a damaged file instead of failing the run.
+     */
+    std::string tracePath;
+    bool traceTolerant = false;
+
+    /**
+     * Fault-injection test hooks (see SystemConfig::faultAtInstr):
+     * throw a SimError once aggregate progress reaches faultAtInstr.
+     * When faultAttempts > 0 the fault only fires on the first
+     * faultAttempts attempts of this spec, so retries can succeed;
+     * attempt numbering continues across --resume.
+     */
+    std::uint64_t faultAtInstr = 0;
+    bool faultTransient = false;
+    unsigned faultAttempts = 0;
 };
 
 /** Expand a RunSpec into a full SystemConfig (paper defaults). */
@@ -78,6 +98,67 @@ SimResults runSpec(const RunSpec &spec);
  */
 std::vector<SimResults> runSpecs(const std::vector<RunSpec> &specs,
                                  unsigned jobs = 0);
+
+/** Knobs for the fault-tolerant batch runner. */
+struct BatchOptions
+{
+    /** Pool workers (0 = hardware_concurrency). */
+    unsigned jobs = 0;
+
+    /**
+     * Attempts per spec per batch invocation. Only errors flagged
+     * transient() are retried; retries back off exponentially from
+     * retryBaseMs, capped at retryCapMs, with deterministic jitter
+     * derived from the spec fingerprint and attempt number.
+     */
+    unsigned maxAttempts = 3;
+    std::uint64_t retryBaseMs = 10;
+    std::uint64_t retryCapMs = 1000;
+
+    /**
+     * Per-run deadline (0 = none). A watchdog thread raises the run's
+     * RunControl stop flag; the simulation loops notice, throw
+     * SimError(Timeout), and the pool slot keeps draining. Timed-out
+     * runs are not retried.
+     */
+    std::uint64_t runTimeoutMs = 0;
+
+    /**
+     * Campaign manifest path (empty = no checkpointing). Written
+     * atomically after each run completes. With resume, specs whose
+     * fingerprint has an Ok entry are restored from the manifest
+     * (bit-identical results, buffered JSON report and all) instead
+     * of re-run; failed entries re-run with continued attempt counts.
+     */
+    std::string manifestPath;
+    bool resume = false;
+};
+
+/** What one spec's failure domain produced. */
+struct RunOutcome
+{
+    RunStatus status = RunStatus::Failed;
+    SimResults results;              //!< valid when ok()
+    std::string error;               //!< what() of the final failure
+    SimError::Kind errorKind = SimError::Kind::Invariant;
+    unsigned attempts = 0;           //!< lifetime attempts (spans resume)
+    std::uint64_t wallMs = 0;        //!< this invocation's wall time
+    bool fromCheckpoint = false;     //!< restored, not re-run
+
+    bool ok() const { return status == RunStatus::Ok; }
+};
+
+/**
+ * Fault-tolerant batch runner: every spec runs in its own failure
+ * domain, so a corrupt trace, a thrown SimError or a runaway run
+ * produces a RunOutcome instead of killing the batch. Outcomes are
+ * returned in input order and successful runs are bit-identical to a
+ * sequential runSpec() loop at any job count. SIGINT cancels in-flight
+ * runs cooperatively, flushes the manifest, and returns with the
+ * remaining outcomes marked Interrupted.
+ */
+std::vector<RunOutcome> runBatch(const std::vector<RunSpec> &specs,
+                                 const BatchOptions &opt = {});
 
 /**
  * Process-wide observability options, consulted by makeConfig() and

@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "prefetch/fetch_profiler.hh"
+#include "trace/trace_file.hh"
+#include "util/error.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -15,6 +17,8 @@ namespace ipref
 std::string
 SystemConfig::workloadSetName() const
 {
+    if (!tracePath.empty())
+        return "trace";
     if (workloads.empty())
         return "none";
     if (workloads.size() > 1)
@@ -76,12 +80,13 @@ SimResults::delta(const SimResults &end, const SimResults &start)
 System::System(const SystemConfig &cfg) : cfg_(cfg)
 {
     if (cfg_.numCores == 0)
-        ipref_fatal("numCores must be >= 1");
-    if (cfg_.workloads.empty())
-        ipref_fatal("no workloads configured");
-    if (cfg_.workloads.size() != 1 &&
+        ipref_raise(ConfigError, "numCores must be >= 1");
+    if (cfg_.workloads.empty() && cfg_.tracePath.empty())
+        ipref_raise(ConfigError, "no workloads configured");
+    if (cfg_.tracePath.empty() && cfg_.workloads.size() != 1 &&
         cfg_.workloads.size() != cfg_.numCores && cfg_.numCores != 1)
-        ipref_fatal("workload list must have 1 entry, numCores "
+        ipref_raise(ConfigError,
+                    "workload list must have 1 entry, numCores "
                     "entries, or run on a single core (time-sliced)");
 
     cfg_.hierarchy.numCores = cfg_.numCores;
@@ -91,8 +96,19 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
 
     hierarchy_ = std::make_unique<CacheHierarchy>(cfg_.hierarchy);
 
-    // Workload walkers.
-    if (cfg_.numCores == 1 && cfg_.workloads.size() > 1) {
+    // Instruction sources: either a replayed trace file (one reader
+    // per core, looping on exhaustion) or synthetic workload walkers.
+    if (!cfg_.tracePath.empty()) {
+        for (unsigned c = 0; c < cfg_.numCores; ++c) {
+            auto reader = std::make_unique<TraceFileReader>(
+                cfg_.tracePath, cfg_.traceReadTolerant
+                                    ? TraceReadMode::Tolerant
+                                    : TraceReadMode::Strict);
+            traceSources_.push_back(
+                std::make_unique<LoopingTraceSource>(*reader));
+            traceReaders_.push_back(std::move(reader));
+        }
+    } else if (cfg_.numCores == 1 && cfg_.workloads.size() > 1) {
         // Time-sliced mixed on one core: one walker per application.
         for (std::size_t i = 0; i < cfg_.workloads.size(); ++i)
             workloads_.push_back(makeWorkload(
@@ -127,17 +143,21 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
         traceSink_->enable(cfg_.traceCapacity);
     }
 
-    // Core c starts on walker c; a single time-sliced core starts on
-    // slice 0 and rotates during run().
+    // Core c starts on walker/reader c; a single time-sliced core
+    // starts on slice 0 and rotates during run().
+    auto sourceFor = [this](unsigned c) -> TraceSource * {
+        return traceSources_.empty() ? workloads_[c].get()
+                                     : traceSources_[c].get();
+    };
     if (cfg_.functional) {
         funcState_.resize(cfg_.numCores);
         for (unsigned c = 0; c < cfg_.numCores; ++c)
-            funcState_[c].trace = workloads_[c].get();
+            funcState_[c].trace = sourceFor(c);
     } else {
         for (unsigned c = 0; c < cfg_.numCores; ++c)
             cores_.push_back(std::make_unique<OoOCore>(
                 c, cfg_.core, *hierarchy_, *engines_[c],
-                workloads_[c].get()));
+                sourceFor(c)));
     }
 
     // Persistent stats tree: built once, reused by dumps, reset at
@@ -171,6 +191,27 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
 }
 
 System::~System() = default;
+
+void
+System::checkControl(std::uint64_t p, std::uint64_t &ctl) const
+{
+    if (cfg_.faultAtInstr && p >= cfg_.faultAtInstr)
+        throw SimError(cfg_.faultTransient ? SimError::Kind::Io
+                                           : SimError::Kind::Invariant,
+                       detail::formatMessage(
+                           "injected fault at instruction %llu",
+                           static_cast<unsigned long long>(p)),
+                       cfg_.faultTransient);
+    if (!cfg_.control || (ctl++ & 1023) != 0)
+        return;
+    int s = cfg_.control->stop.load(std::memory_order_relaxed);
+    if (s == RunControl::stopTimeout)
+        throw SimError(SimError::Kind::Timeout,
+                       "run exceeded its deadline");
+    if (s == RunControl::stopInterrupt)
+        throw SimError(SimError::Kind::Interrupted,
+                       "run interrupted");
+}
 
 std::uint64_t
 System::progress() const
@@ -210,6 +251,8 @@ System::runTiming(std::uint64_t targetInstrs)
 {
     bool sliced = cfg_.numCores == 1 && workloads_.size() > 1;
     bool sampling = cfg_.statsIntervalInstrs > 0 && nextSampleAt_ > 0;
+    bool guarded = cfg_.faultAtInstr > 0 || cfg_.control != nullptr;
+    std::uint64_t ctl = 0;
     Cycle guard =
         now_ + 1000 + 400 * (targetInstrs - std::min(targetInstrs,
                                                      progress()));
@@ -217,6 +260,8 @@ System::runTiming(std::uint64_t targetInstrs)
         std::uint64_t p = progress();
         if (p >= targetInstrs)
             break;
+        if (guarded)
+            checkControl(p, ctl);
         if (sampling)
             maybeSample(p);
         for (auto &core : cores_)
@@ -232,7 +277,8 @@ System::runTiming(std::uint64_t targetInstrs)
             }
         }
         if (now_ > guard)
-            ipref_panic("timing simulation is not making progress "
+            ipref_raise(InvariantError,
+                        "timing simulation is not making progress "
                         "(IPC < 0.0025)");
     }
 }
@@ -242,17 +288,23 @@ System::runFunctional(std::uint64_t targetInstrs)
 {
     bool sliced = cfg_.numCores == 1 && workloads_.size() > 1;
     bool sampling = cfg_.statsIntervalInstrs > 0 && nextSampleAt_ > 0;
+    bool guarded = cfg_.faultAtInstr > 0 || cfg_.control != nullptr;
+    std::uint64_t ctl = 0;
     while (true) {
         std::uint64_t p = progress();
         if (p >= targetInstrs)
             break;
+        if (guarded)
+            checkControl(p, ctl);
         if (sampling)
             maybeSample(p);
         for (unsigned c = 0; c < cfg_.numCores; ++c) {
             FuncState &st = funcState_[c];
             InstrRecord rec;
             if (!st.trace->next(rec))
-                ipref_panic("workload stream ended unexpectedly");
+                throw TraceError(
+                    "instruction stream ended unexpectedly",
+                    {cfg_.tracePath, 0, st.emitted, 0});
             Addr line = hierarchy_->lineOf(rec.pc);
             bool line_access = line != st.curLine;
             if (line_access) {

@@ -129,12 +129,24 @@ class System
     void runTiming(std::uint64_t targetInstrs);
     void runFunctional(std::uint64_t targetInstrs);
 
+    /**
+     * Fault-injection / cancellation poll, called from the run loops
+     * when either hook is armed. Throws SimError (Io/Invariant on an
+     * injected fault, Timeout/Interrupted when the RunControl stop
+     * flag is raised). @p ctl rate-limits the atomic load to every
+     * 1024th call.
+     */
+    void checkControl(std::uint64_t p, std::uint64_t &ctl) const;
+
     /** Total committed (timing) or emitted (functional). */
     std::uint64_t progress() const;
 
     SystemConfig cfg_;
     std::unique_ptr<CacheHierarchy> hierarchy_;
     std::vector<std::unique_ptr<Workload>> workloads_;
+    /** Trace replay: per-core readers + looping wrappers (may be empty). */
+    std::vector<std::unique_ptr<TraceSource>> traceReaders_;
+    std::vector<std::unique_ptr<TraceSource>> traceSources_;
     std::vector<std::unique_ptr<PrefetchEngine>> engines_;
     std::vector<std::unique_ptr<OoOCore>> cores_;
     std::unique_ptr<FetchProfiler> profiler_;

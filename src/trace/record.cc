@@ -1,5 +1,6 @@
 #include "trace/record.hh"
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace ipref
@@ -59,7 +60,12 @@ missGroup(FetchTransition t)
       case FetchTransition::Trap:
         return MissGroup::Trap;
       default:
-        ipref_panic("bad transition %d", static_cast<int>(t));
+        // Out-of-range values come from untrusted bytes (a trace
+        // file, a parsed event log), so this is recoverable — the
+        // readers validate at decode time, and anything that slips
+        // through poisons one run, not the process.
+        ipref_raise(InvariantError, "bad transition %d",
+                    static_cast<int>(t));
     }
 }
 

@@ -1,7 +1,10 @@
 #include "trace/trace_file.hh"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstring>
 
+#include "util/crc32.hh"
 #include "util/logging.hh"
 
 namespace ipref
@@ -10,8 +13,11 @@ namespace ipref
 namespace
 {
 
-constexpr char traceMagic[8] = {'I', 'P', 'R', 'T', 'R', 'C', '0', '1'};
-constexpr std::size_t headerBytes = 32;
+constexpr char traceMagicV1[8] = {'I', 'P', 'R', 'T', 'R', 'C', '0', '1'};
+constexpr char traceMagicV2[8] = {'I', 'P', 'R', 'T', 'R', 'C', '0', '2'};
+constexpr std::size_t headerBytesV1 = 32;
+constexpr std::size_t headerBytesV2 = 44;
+constexpr std::size_t blockCrcBytes = 4;
 
 void
 put64(unsigned char *p, std::uint64_t v)
@@ -26,6 +32,22 @@ get64(const unsigned char *p)
     std::uint64_t v = 0;
     for (int i = 0; i < 8; ++i)
         v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+put32(unsigned char *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint32_t
+get32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
     return v;
 }
 
@@ -55,30 +77,80 @@ unpackRecord(const unsigned char *buf, InstrRecord &rec)
     rec.dstReg = buf[28];
 }
 
+TraceError::Context
+fileContext(const std::string &path, std::uint64_t byteOffset,
+            std::uint64_t recordIndex, int sysErrno = 0)
+{
+    TraceError::Context ctx;
+    ctx.path = path;
+    ctx.byteOffset = byteOffset;
+    ctx.recordIndex = recordIndex;
+    ctx.sysErrno = sysErrno;
+    return ctx;
+}
+
 } // namespace
 
-TraceFileWriter::TraceFileWriter(const std::string &path) : path_(path)
+// --- writer ----------------------------------------------------------
+
+TraceFileWriter::TraceFileWriter(const std::string &path,
+                                 std::uint32_t blockRecords)
+    : path_(path),
+      blockRecords_(blockRecords ? blockRecords
+                                 : traceDefaultBlockRecords)
 {
     file_ = std::fopen(path.c_str(), "wb");
     if (!file_)
-        ipref_fatal("cannot open trace file for writing: %s", path.c_str());
+        throw TraceError("cannot open trace file for writing",
+                         fileContext(path_, 0, 0, errno),
+                         isTransientErrno(errno));
+    block_.reserve(blockRecords_ * traceRecordBytes);
     writeHeader();
 }
 
 TraceFileWriter::~TraceFileWriter()
 {
-    if (!closed_)
+    if (closed_)
+        return;
+    try {
         close();
+    } catch (const SimError &e) {
+        ipref_warn("%s", e.what());
+    }
 }
 
 void
 TraceFileWriter::writeHeader()
 {
-    unsigned char hdr[headerBytes] = {};
-    std::memcpy(hdr, traceMagic, sizeof(traceMagic));
+    unsigned char hdr[headerBytesV2] = {};
+    std::memcpy(hdr, traceMagicV2, sizeof(traceMagicV2));
     put64(hdr + 8, count_);
-    if (std::fwrite(hdr, 1, headerBytes, file_) != headerBytes)
-        ipref_fatal("short write on trace header: %s", path_.c_str());
+    put32(hdr + 16, blockRecords_);
+    put32(hdr + 20, static_cast<std::uint32_t>(traceRecordBytes));
+    // bytes [24, 40) reserved; CRC covers everything before itself.
+    put32(hdr + 40, crc32(hdr, 40));
+    if (std::fwrite(hdr, 1, headerBytesV2, file_) != headerBytesV2)
+        throw TraceError("short write on trace header",
+                         fileContext(path_, 0, count_, errno),
+                         isTransientErrno(errno));
+}
+
+void
+TraceFileWriter::flushBlock()
+{
+    if (block_.empty())
+        return;
+    long at = std::ftell(file_);
+    std::uint64_t off = at > 0 ? static_cast<std::uint64_t>(at) : 0;
+    unsigned char tail[blockCrcBytes];
+    put32(tail, crc32(block_.data(), block_.size()));
+    if (std::fwrite(block_.data(), 1, block_.size(), file_) !=
+            block_.size() ||
+        std::fwrite(tail, 1, blockCrcBytes, file_) != blockCrcBytes)
+        throw TraceError("short write on trace block",
+                         fileContext(path_, off, count_, errno),
+                         isTransientErrno(errno));
+    block_.clear();
 }
 
 void
@@ -87,9 +159,10 @@ TraceFileWriter::write(const InstrRecord &rec)
     ipref_assert(!closed_);
     unsigned char buf[traceRecordBytes];
     packRecord(rec, buf);
-    if (std::fwrite(buf, 1, traceRecordBytes, file_) != traceRecordBytes)
-        ipref_fatal("short write on trace record: %s", path_.c_str());
+    block_.insert(block_.end(), buf, buf + traceRecordBytes);
     ++count_;
+    if (block_.size() >= blockRecords_ * traceRecordBytes)
+        flushBlock();
 }
 
 void
@@ -97,24 +170,93 @@ TraceFileWriter::close()
 {
     if (closed_)
         return;
-    std::fseek(file_, 0, SEEK_SET);
-    writeHeader();
-    std::fclose(file_);
-    file_ = nullptr;
     closed_ = true;
+    std::FILE *f = file_;
+
+    // Every step is verified: a disk-full truncation that fwrite
+    // buffered silently must be caught here, not at the next read.
+    // fail() releases the handle before throwing (fclose frees the
+    // FILE even when it reports an error).
+    auto fail = [&](const char *what) {
+        int err = errno;
+        if (file_) {
+            file_ = nullptr;
+            std::fclose(f);
+        }
+        throw TraceError(what, fileContext(path_, 0, count_, err),
+                         isTransientErrno(err));
+    };
+    try {
+        flushBlock();
+        if (std::fflush(f) != 0)
+            fail("flush failed on trace file");
+        if (std::fseek(f, 0, SEEK_SET) != 0)
+            fail("seek failed on trace file");
+        writeHeader(); // rewrite with the final count
+        if (std::fflush(f) != 0)
+            fail("flush failed on trace header");
+    } catch (...) {
+        if (file_) {
+            file_ = nullptr;
+            std::fclose(f);
+        }
+        throw;
+    }
+    file_ = nullptr;
+    if (std::fclose(f) != 0)
+        fail("close failed on trace file");
 }
 
-TraceFileReader::TraceFileReader(const std::string &path)
+// --- reader ----------------------------------------------------------
+
+TraceFileReader::TraceFileReader(const std::string &path,
+                                 TraceReadMode mode)
+    : path_(path), mode_(mode)
 {
     file_ = std::fopen(path.c_str(), "rb");
     if (!file_)
-        ipref_fatal("cannot open trace file: %s", path.c_str());
-    unsigned char hdr[headerBytes];
-    if (std::fread(hdr, 1, headerBytes, file_) != headerBytes)
-        ipref_fatal("trace file too short: %s", path.c_str());
-    if (std::memcmp(hdr, traceMagic, sizeof(traceMagic)) != 0)
-        ipref_fatal("bad trace magic in %s", path.c_str());
-    count_ = get64(hdr + 8);
+        throw TraceError("cannot open trace file",
+                         fileContext(path_, 0, 0, errno),
+                         isTransientErrno(errno));
+
+    unsigned char hdr[headerBytesV2];
+    std::size_t got = std::fread(hdr, 1, sizeof(traceMagicV1), file_);
+    if (got != sizeof(traceMagicV1))
+        throw TraceError("trace file too short for a header",
+                         fileContext(path_, got, 0));
+
+    if (std::memcmp(hdr, traceMagicV1, sizeof(traceMagicV1)) == 0) {
+        version_ = 1;
+        if (std::fread(hdr + 8, 1, headerBytesV1 - 8, file_) !=
+            headerBytesV1 - 8)
+            throw TraceError("trace file too short for a header",
+                             fileContext(path_, 8, 0));
+        count_ = get64(hdr + 8);
+        dataStart_ = headerBytesV1;
+    } else if (std::memcmp(hdr, traceMagicV2, sizeof(traceMagicV2)) ==
+               0) {
+        version_ = 2;
+        if (std::fread(hdr + 8, 1, headerBytesV2 - 8, file_) !=
+            headerBytesV2 - 8)
+            throw TraceError("trace file too short for a header",
+                             fileContext(path_, 8, 0));
+        // A damaged header leaves nothing trustworthy to salvage, so
+        // this throws even in tolerant mode.
+        if (get32(hdr + 40) != crc32(hdr, 40))
+            throw TraceError("trace header CRC mismatch",
+                             fileContext(path_, 40, 0));
+        count_ = get64(hdr + 8);
+        blockRecords_ = get32(hdr + 16);
+        if (get32(hdr + 20) != traceRecordBytes)
+            throw TraceError("unsupported trace record size",
+                             fileContext(path_, 20, 0));
+        if (blockRecords_ == 0)
+            throw TraceError("invalid trace block size",
+                             fileContext(path_, 16, 0));
+        dataStart_ = headerBytesV2;
+    } else {
+        throw TraceError("bad trace magic", fileContext(path_, 0, 0));
+    }
 }
 
 TraceFileReader::~TraceFileReader()
@@ -124,15 +266,86 @@ TraceFileReader::~TraceFileReader()
 }
 
 bool
+TraceFileReader::damaged(const TraceError &err)
+{
+    if (mode_ == TraceReadMode::Strict)
+        throw err;
+    corrupt_ = true;
+    ended_ = true;
+    detail_ = err.what();
+    return false;
+}
+
+bool
+TraceFileReader::loadBlock()
+{
+    std::uint64_t remaining = count_ - pos_;
+    if (remaining == 0)
+        return false;
+    std::uint64_t records =
+        std::min<std::uint64_t>(remaining, blockRecords_);
+    std::size_t payload =
+        static_cast<std::size_t>(records) * traceRecordBytes;
+
+    long at = std::ftell(file_);
+    blockFileOff_ = at > 0 ? static_cast<std::uint64_t>(at) : 0;
+
+    std::vector<unsigned char> buf(payload + blockCrcBytes);
+    std::size_t got = std::fread(buf.data(), 1, buf.size(), file_);
+    if (got != buf.size())
+        return damaged(TraceError(
+            "truncated trace file",
+            fileContext(path_, blockFileOff_ + got, pos_)));
+    if (get32(buf.data() + payload) != crc32(buf.data(), payload))
+        return damaged(TraceError(
+            "trace block CRC mismatch",
+            fileContext(path_, blockFileOff_, pos_)));
+    buf.resize(payload);
+    block_ = std::move(buf);
+    blockPos_ = 0;
+    return true;
+}
+
+bool
 TraceFileReader::next(InstrRecord &out)
 {
-    if (pos_ >= count_)
+    if (ended_ || pos_ >= count_)
         return false;
-    unsigned char buf[traceRecordBytes];
-    if (std::fread(buf, 1, traceRecordBytes, file_) != traceRecordBytes)
-        ipref_fatal("truncated trace file (record %llu)",
-                    static_cast<unsigned long long>(pos_));
-    unpackRecord(buf, out);
+
+    const unsigned char *rec = nullptr;
+    std::uint64_t recOff = 0;
+    unsigned char v1buf[traceRecordBytes];
+
+    if (version_ == 1) {
+        recOff = dataStart_ + pos_ * traceRecordBytes;
+        std::size_t got =
+            std::fread(v1buf, 1, traceRecordBytes, file_);
+        if (got != traceRecordBytes)
+            return damaged(TraceError(
+                "truncated trace file",
+                fileContext(path_, recOff + got, pos_)));
+        rec = v1buf;
+    } else {
+        if (blockPos_ >= block_.size() && !loadBlock())
+            return false;
+        rec = block_.data() + blockPos_;
+        recOff = blockFileOff_ + blockPos_;
+    }
+
+    // An untrusted byte from disk: an out-of-range op class must
+    // surface as TraceError, never reach transitionType()/missGroup()
+    // as garbage (satellite of the CRC check, and the only line of
+    // defense for v1 files).
+    if (rec[24] >=
+        static_cast<unsigned char>(OpClass::NumOpClasses))
+        return damaged(TraceError(
+            detail::formatMessage("invalid op class byte 0x%02x",
+                                  rec[24]),
+            fileContext(path_, recOff + 24, pos_)));
+
+    unpackRecord(rec, out);
+    if (version_ == 2)
+        blockPos_ += traceRecordBytes;
     ++pos_;
     return true;
 }
@@ -140,8 +353,14 @@ TraceFileReader::next(InstrRecord &out)
 void
 TraceFileReader::reset()
 {
-    std::fseek(file_, static_cast<long>(headerBytes), SEEK_SET);
+    std::fseek(file_, static_cast<long>(dataStart_), SEEK_SET);
     pos_ = 0;
+    block_.clear();
+    blockPos_ = 0;
+    blockFileOff_ = 0;
+    ended_ = false;
+    corrupt_ = false;
+    detail_.clear();
 }
 
 } // namespace ipref

@@ -3,10 +3,22 @@
  * Binary trace file format: a fixed header followed by fixed-width
  * little-endian records. Simple, seekable, and dependency-free.
  *
- * Layout:
- *   header: magic "IPRTRC01" (8B), record count (8B), reserved (16B)
+ * v2 layout (written by TraceFileWriter):
+ *   header (44B): magic "IPRTRC02" (8B), record count (8B),
+ *                 records per block (4B), record size (4B),
+ *                 reserved (16B), CRC32 of the first 40 bytes (4B)
+ *   blocks: up to blockRecords records (29B each, see below),
+ *           followed by the CRC32 of the block payload (4B)
  *   record: pc (8B), target (8B), dataAddr (8B), op (1B),
  *           flags (1B: bit0 = taken), src0, src1, dst (3B) = 29 bytes
+ *
+ * v1 layout (magic "IPRTRC01", still readable): 32-byte header with
+ * no checksums, records back to back.
+ *
+ * Corruption, truncation and undecodable bytes surface as TraceError
+ * (with byte offset and record index) — never as a process abort and
+ * never as garbage records. TraceReadMode::Tolerant instead ends the
+ * stream at the last intact block and reports what was salvaged.
  */
 
 #ifndef IPREF_TRACE_TRACE_FILE_HH
@@ -15,9 +27,11 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "trace/record.hh"
 #include "trace/trace_source.hh"
+#include "util/error.hh"
 
 namespace ipref
 {
@@ -25,21 +39,35 @@ namespace ipref
 /** Size in bytes of one on-disk record. */
 inline constexpr std::size_t traceRecordBytes = 29;
 
-/** Streams InstrRecords into a binary trace file. */
+/** Default records per CRC-protected block (v2). */
+inline constexpr std::uint32_t traceDefaultBlockRecords = 256;
+
+/** Streams InstrRecords into a binary trace file (v2 format). */
 class TraceFileWriter
 {
   public:
-    /** Open @p path for writing; fatal on failure. */
-    explicit TraceFileWriter(const std::string &path);
+    /**
+     * Open @p path for writing; throws TraceError (with errno
+     * context) on failure. @p blockRecords sets the CRC block
+     * granularity — smaller blocks waste more bytes but salvage more
+     * data from a damaged file.
+     */
+    explicit TraceFileWriter(const std::string &path,
+                             std::uint32_t blockRecords =
+                                 traceDefaultBlockRecords);
     ~TraceFileWriter();
 
     TraceFileWriter(const TraceFileWriter &) = delete;
     TraceFileWriter &operator=(const TraceFileWriter &) = delete;
 
-    /** Append one record. */
+    /** Append one record; throws TraceError on I/O failure. */
     void write(const InstrRecord &rec);
 
-    /** Flush buffers and rewrite the header with the final count. */
+    /**
+     * Flush the trailing block, rewrite the header with the final
+     * count, and verify the flush and close succeeded — a disk-full
+     * truncation is reported here (as TraceError), not at next read.
+     */
     void close();
 
     /** Records written so far. */
@@ -47,34 +75,84 @@ class TraceFileWriter
 
   private:
     void writeHeader();
+    void flushBlock();
 
     std::FILE *file_ = nullptr;
     std::string path_;
     std::uint64_t count_ = 0;
+    std::uint32_t blockRecords_;
+    std::vector<unsigned char> block_; //!< pending block payload
     bool closed_ = false;
 };
 
-/** Reads a binary trace file as a TraceSource. */
+/** How TraceFileReader treats a damaged file. */
+enum class TraceReadMode
+{
+    Strict,  //!< any corruption throws TraceError
+    Tolerant //!< end the stream at the valid prefix; see corrupt()
+};
+
+/** Reads a binary trace file (v1 or v2) as a TraceSource. */
 class TraceFileReader : public TraceSource
 {
   public:
-    /** Open @p path; fatal on missing file or bad magic. */
-    explicit TraceFileReader(const std::string &path);
+    /**
+     * Open @p path; throws TraceError on a missing file or a bad /
+     * corrupt header (a damaged header leaves nothing to salvage,
+     * even in tolerant mode).
+     */
+    explicit TraceFileReader(const std::string &path,
+                             TraceReadMode mode = TraceReadMode::Strict);
     ~TraceFileReader() override;
 
     TraceFileReader(const TraceFileReader &) = delete;
     TraceFileReader &operator=(const TraceFileReader &) = delete;
 
+    /**
+     * Produce the next record. On corruption: throws TraceError
+     * (Strict) or ends the stream and sets corrupt() (Tolerant).
+     */
     bool next(InstrRecord &out) override;
     void reset() override;
 
-    /** Total records in the file (from the header). */
+    /** Total records promised by the header. */
     std::uint64_t count() const { return count_; }
 
+    /** Format version (1 or 2). */
+    unsigned version() const { return version_; }
+
+    /** Tolerant mode: did the stream end early on corruption? */
+    bool corrupt() const { return corrupt_; }
+
+    /** Tolerant mode: human-readable description of the damage. */
+    const std::string &corruptionDetail() const { return detail_; }
+
+    /** Records successfully delivered since open/reset. */
+    std::uint64_t delivered() const { return pos_; }
+
   private:
+    /** Load and verify the next block into block_; false on EOF. */
+    bool loadBlock();
+
+    /** Raise @p err (Strict) or record it and end the stream. */
+    bool damaged(const TraceError &err);
+
     std::FILE *file_ = nullptr;
+    std::string path_;
+    TraceReadMode mode_;
+    unsigned version_ = 2;
     std::uint64_t count_ = 0;
-    std::uint64_t pos_ = 0;
+    std::uint64_t pos_ = 0;       //!< records delivered
+    std::uint32_t blockRecords_ = 0;
+    std::uint64_t dataStart_ = 0; //!< file offset of the first block
+
+    std::vector<unsigned char> block_; //!< verified block payload
+    std::size_t blockPos_ = 0;         //!< consumed bytes in block_
+    std::uint64_t blockFileOff_ = 0;   //!< file offset of block_
+
+    bool corrupt_ = false;
+    bool ended_ = false;
+    std::string detail_;
 };
 
 } // namespace ipref

@@ -1,0 +1,75 @@
+#include "util/error.hh"
+
+#include <cerrno>
+#include <cstring>
+
+namespace ipref
+{
+
+const char *
+errorKindName(SimError::Kind kind)
+{
+    switch (kind) {
+      case SimError::Kind::Config: return "config";
+      case SimError::Kind::Trace: return "trace";
+      case SimError::Kind::Invariant: return "invariant";
+      case SimError::Kind::Io: return "io";
+      case SimError::Kind::Timeout: return "timeout";
+      case SimError::Kind::Interrupted: return "interrupted";
+    }
+    return "invariant";
+}
+
+SimError::Kind
+parseErrorKind(const std::string &name)
+{
+    if (name == "config")
+        return SimError::Kind::Config;
+    if (name == "trace")
+        return SimError::Kind::Trace;
+    if (name == "io")
+        return SimError::Kind::Io;
+    if (name == "timeout")
+        return SimError::Kind::Timeout;
+    if (name == "interrupted")
+        return SimError::Kind::Interrupted;
+    return SimError::Kind::Invariant;
+}
+
+bool
+isTransientErrno(int err)
+{
+    switch (err) {
+      case EINTR:
+      case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+      case EWOULDBLOCK:
+#endif
+      case EBUSY:
+      case ENOSPC:
+      case EMFILE:
+      case ENFILE:
+#ifdef EDQUOT
+      case EDQUOT:
+#endif
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+TraceError::decorate(const std::string &msg, const Context &ctx)
+{
+    std::string out = msg;
+    if (!ctx.path.empty())
+        out += " [" + ctx.path + "]";
+    if (ctx.byteOffset || ctx.recordIndex)
+        out += " (byte offset " + std::to_string(ctx.byteOffset) +
+               ", record " + std::to_string(ctx.recordIndex) + ")";
+    if (ctx.sysErrno)
+        out += std::string(": ") + std::strerror(ctx.sysErrno);
+    return out;
+}
+
+} // namespace ipref

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace ipref
@@ -30,7 +31,7 @@ Options::Options(int argc, char **argv,
             value = "1"; // boolean flag
         }
         if (!known.empty() && !known.count(name))
-            ipref_fatal("unknown option --%s", name.c_str());
+            ipref_raise(ConfigError, "unknown option --%s", name.c_str());
         values_[name] = value;
     }
 }

@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace ipref
@@ -47,7 +48,7 @@ parseWorkloadKind(const std::string &name)
         return WorkloadKind::JAPP;
     if (s == "web" || s == "specweb" || s == "specweb99")
         return WorkloadKind::WEB;
-    ipref_fatal("unknown workload '%s' (want db|tpcw|japp|web)",
+    ipref_raise(ConfigError, "unknown workload '%s' (want db|tpcw|japp|web)",
                 name.c_str());
 }
 
@@ -160,7 +161,7 @@ presetConfig(WorkloadKind kind)
         c.storeFraction = 0.09;
         break;
       default:
-        ipref_fatal("bad workload kind");
+        ipref_raise(InvariantError, "bad workload kind");
     }
     return c;
 }

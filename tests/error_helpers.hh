@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared assertion for the recoverable-error contract: @p fn must
+ * throw exactly @p Ex, with @p needle somewhere in the message. Used
+ * by the former death tests now that user-input failures throw
+ * SimError subclasses instead of exiting the process.
+ */
+
+#ifndef IPREF_TESTS_ERROR_HELPERS_HH
+#define IPREF_TESTS_ERROR_HELPERS_HH
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hh"
+
+namespace ipref::test
+{
+
+template <typename Ex, typename Fn>
+void
+expectThrows(Fn &&fn, const std::string &needle)
+{
+    try {
+        fn();
+        ADD_FAILURE() << "expected an exception, none was thrown";
+    } catch (const Ex &e) {
+        EXPECT_NE(std::string(e.what()).find(needle),
+                  std::string::npos)
+            << "message '" << e.what() << "' lacks '" << needle << "'";
+    } catch (const std::exception &e) {
+        ADD_FAILURE() << "wrong exception type: " << e.what();
+    }
+}
+
+} // namespace ipref::test
+
+#endif // IPREF_TESTS_ERROR_HELPERS_HH

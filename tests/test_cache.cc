@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "error_helpers.hh"
+
 #include "cache/cache.hh"
 
 using namespace ipref;
@@ -197,16 +199,16 @@ TEST(Cache, CapacitySweepProperty)
     }
 }
 
-TEST(Cache, BadGeometryIsFatal)
+TEST(Cache, BadGeometryThrows)
 {
     CacheParams p = tinyParams();
     p.lineBytes = 48;
-    EXPECT_EXIT(SetAssocCache{p}, ::testing::ExitedWithCode(1),
-                "power of two");
+    test::expectThrows<ConfigError>([&] { SetAssocCache cache{p}; },
+                                    "power of two");
     p = tinyParams();
     p.sizeBytes = 1000;
-    EXPECT_EXIT(SetAssocCache{p}, ::testing::ExitedWithCode(1),
-                "divisible");
+    test::expectThrows<ConfigError>([&] { SetAssocCache cache{p}; },
+                                    "divisible");
 }
 
 TEST(Cache, ValidLinesTracksOccupancy)

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "error_helpers.hh"
+
 #include "cache/hierarchy.hh"
 #include "prefetch/confidence_filter.hh"
 #include "prefetch/call_graph.hh"
@@ -121,10 +123,10 @@ TEST(Confidence, CountersSaturate)
     EXPECT_EQ(f.decrements.value(), 3u);
 }
 
-TEST(Confidence, NonPow2IsFatal)
+TEST(Confidence, NonPow2Throws)
 {
-    EXPECT_EXIT((ConfidenceFilter{100, 64}),
-                ::testing::ExitedWithCode(1), "power");
+    test::expectThrows<ConfigError>(
+        [] { ConfidenceFilter f{100, 64}; }, "power");
 }
 
 TEST(ConfidenceEngine, ReplacesTagProbing)

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "error_helpers.hh"
+
 #include "cache/hierarchy.hh"
 #include "util/rng.hh"
 
@@ -297,12 +299,12 @@ TEST(Hierarchy, UniformReuseConvergesToCompulsoryMisses)
     EXPECT_EQ(h.l2dMisses.value(), 2048u);
 }
 
-TEST(Hierarchy, MismatchedLineSizesAreFatal)
+TEST(Hierarchy, MismatchedLineSizesThrow)
 {
     HierarchyParams p = timingParams();
     p.l1i.lineBytes = 32;
-    EXPECT_EXIT(CacheHierarchy{p}, ::testing::ExitedWithCode(1),
-                "uniform line size");
+    test::expectThrows<ConfigError>([&] { CacheHierarchy h{p}; },
+                                    "uniform line size");
 }
 
 TEST(Hierarchy, SharedL2SeenByAllCores)

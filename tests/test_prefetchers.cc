@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "error_helpers.hh"
+
 #include <algorithm>
 
 #include "prefetch/discontinuity.hh"
@@ -161,10 +163,10 @@ TEST(DiscPredictor, ReallocateSameMappingIsIdempotent)
     EXPECT_EQ(p.decays.value(), 0u);
 }
 
-TEST(DiscPredictor, NonPow2IsFatal)
+TEST(DiscPredictor, NonPow2Throws)
 {
-    EXPECT_EXIT((DiscontinuityPredictor{100, 64}),
-                ::testing::ExitedWithCode(1), "power");
+    test::expectThrows<ConfigError>(
+        [] { DiscontinuityPredictor p{100, 64}; }, "power");
 }
 
 TEST(DiscPrefetcher, LearnsOnDiscontinuityMiss)
@@ -328,6 +330,6 @@ TEST(Factory, ParseSchemeRoundTrip)
     EXPECT_EQ(parseScheme("discontinuity"),
               PrefetchScheme::Discontinuity);
     EXPECT_EQ(parseScheme("target"), PrefetchScheme::TargetHistory);
-    EXPECT_EXIT(parseScheme("bogus"), ::testing::ExitedWithCode(1),
-                "unknown prefetch scheme");
+    test::expectThrows<ConfigError>([] { parseScheme("bogus"); },
+                                    "unknown prefetch scheme");
 }

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "error_helpers.hh"
+
 #include <sstream>
 
 #include "sim/experiment.hh"
@@ -187,21 +189,21 @@ TEST(System, CoverageAndAccuracyInRange)
     EXPECT_LE(r.l1iCoverage(), 1.0);
 }
 
-TEST(System, InvalidConfigsAreFatal)
+TEST(System, InvalidConfigsThrow)
 {
     SystemConfig bad;
     bad.numCores = 0;
-    EXPECT_EXIT(System{bad}, ::testing::ExitedWithCode(1),
-                "numCores");
+    test::expectThrows<ConfigError>([&] { System s{bad}; },
+                                    "numCores");
     SystemConfig bad2;
     bad2.workloads.clear();
-    EXPECT_EXIT(System{bad2}, ::testing::ExitedWithCode(1),
-                "no workloads");
+    test::expectThrows<ConfigError>([&] { System s{bad2}; },
+                                    "no workloads");
     SystemConfig bad3;
     bad3.numCores = 4;
     bad3.workloads = {WorkloadKind::DB, WorkloadKind::WEB};
-    EXPECT_EXIT(System{bad3}, ::testing::ExitedWithCode(1),
-                "workload list");
+    test::expectThrows<ConfigError>([&] { System s{bad3}; },
+                                    "workload list");
 }
 
 TEST(System, BranchPredictionReasonable)

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "error_helpers.hh"
+
 #include <cstdio>
 #include <sstream>
 
@@ -198,10 +200,11 @@ TEST(TraceFile, ResetRewinds)
     std::remove(path.c_str());
 }
 
-TEST(TraceFile, MissingFileIsFatal)
+TEST(TraceFile, MissingFileThrows)
 {
-    EXPECT_EXIT(TraceFileReader("/nonexistent/path/x.trc"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    test::expectThrows<TraceError>(
+        [] { TraceFileReader r("/nonexistent/path/x.trc"); },
+        "cannot open");
 }
 
 TEST(TraceFile, BadMagicIsFatal)
@@ -212,8 +215,142 @@ TEST(TraceFile, BadMagicIsFatal)
     const char junk[64] = "not a trace file at all............";
     std::fwrite(junk, 1, sizeof(junk), f);
     std::fclose(f);
-    EXPECT_EXIT(TraceFileReader{path}, ::testing::ExitedWithCode(1),
-                "bad trace magic");
+    test::expectThrows<TraceError>([&] { TraceFileReader r{path}; },
+                                   "bad trace magic");
+    std::remove(path.c_str());
+}
+
+namespace
+{
+
+/** Little-endian u64 into a raw byte buffer. */
+void
+putLe64(unsigned char *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+/** Pack one record exactly as the v1/v2 on-disk layout does. */
+void
+packRaw(const InstrRecord &rec, unsigned char *buf)
+{
+    putLe64(buf + 0, rec.pc);
+    putLe64(buf + 8, rec.target);
+    putLe64(buf + 16, rec.dataAddr);
+    buf[24] = static_cast<unsigned char>(rec.op);
+    buf[25] = rec.taken ? 1 : 0;
+    buf[26] = rec.srcReg[0];
+    buf[27] = rec.srcReg[1];
+    buf[28] = rec.dstReg;
+}
+
+/** Hand-write a legacy v1 file: 32B header, raw records, no CRCs. */
+void
+writeV1File(const std::string &path,
+            const std::vector<InstrRecord> &recs)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    unsigned char hdr[32] = {'I', 'P', 'R', 'T', 'R', 'C', '0', '1'};
+    putLe64(hdr + 8, recs.size());
+    std::fwrite(hdr, 1, sizeof(hdr), f);
+    for (const InstrRecord &rec : recs) {
+        unsigned char buf[traceRecordBytes];
+        packRaw(rec, buf);
+        std::fwrite(buf, 1, sizeof(buf), f);
+    }
+    std::fclose(f);
+}
+
+} // namespace
+
+TEST(TraceFile, ReadsLegacyV1Files)
+{
+    std::string path = ::testing::TempDir() + "legacy.trc";
+    std::vector<InstrRecord> recs;
+    for (int i = 0; i < 5; ++i)
+        recs.push_back(makeInstr(0x1000 + 4u * i, OpClass::IntAlu));
+    recs.push_back(
+        makeInstr(0x1014, OpClass::CondBranch, true, 0x2000));
+    writeV1File(path, recs);
+
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.version(), 1u);
+    EXPECT_EQ(reader.count(), recs.size());
+    InstrRecord r;
+    for (const InstrRecord &want : recs) {
+        ASSERT_TRUE(reader.next(r));
+        EXPECT_EQ(r.pc, want.pc);
+        EXPECT_EQ(r.op, want.op);
+        EXPECT_EQ(r.taken, want.taken);
+        EXPECT_EQ(r.target, want.target);
+    }
+    EXPECT_FALSE(reader.next(r));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, V1InvalidOpByteThrows)
+{
+    // v1 has no checksums, so the decode-time op validation is the
+    // only line of defense against garbage bytes.
+    std::string path = ::testing::TempDir() + "legacy_bad_op.trc";
+    std::vector<InstrRecord> recs = {makeInstr(0x42, OpClass::IntAlu)};
+    recs.push_back(recs[0]);
+    recs[1].op = static_cast<OpClass>(0xee);
+    writeV1File(path, recs);
+
+    TraceFileReader reader(path);
+    InstrRecord r;
+    ASSERT_TRUE(reader.next(r));
+    test::expectThrows<TraceError>(
+        [&] {
+            while (reader.next(r)) {
+            }
+        },
+        "invalid op class");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, WritesVersion2)
+{
+    std::string path = ::testing::TempDir() + "v2.trc";
+    {
+        TraceFileWriter writer(path);
+        // Spill past one CRC block to cover the multi-block path.
+        for (unsigned i = 0; i < traceDefaultBlockRecords + 10; ++i)
+            writer.write(makeInstr(0x1000 + 4u * i, OpClass::IntAlu));
+        writer.close();
+    }
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.version(), 2u);
+    EXPECT_EQ(reader.count(), traceDefaultBlockRecords + 10u);
+    InstrRecord r;
+    std::uint64_t n = 0;
+    while (reader.next(r)) {
+        EXPECT_EQ(r.pc, 0x1000 + 4u * n);
+        ++n;
+    }
+    EXPECT_EQ(n, reader.count());
+    EXPECT_FALSE(reader.corrupt());
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, SmallBlocksRoundTrip)
+{
+    std::string path = ::testing::TempDir() + "smallblk.trc";
+    {
+        TraceFileWriter writer(path, /*blockRecords=*/4);
+        for (unsigned i = 0; i < 11; ++i) // partial trailing block
+            writer.write(makeInstr(0x1000 + 4u * i, OpClass::IntAlu));
+        writer.close();
+    }
+    TraceFileReader reader(path);
+    InstrRecord r;
+    std::uint64_t n = 0;
+    while (reader.next(r))
+        ++n;
+    EXPECT_EQ(n, 11u);
     std::remove(path.c_str());
 }
 

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "error_helpers.hh"
+
 #include <atomic>
 #include <chrono>
 #include <map>
@@ -402,20 +404,22 @@ TEST(Options, BoolForms)
     EXPECT_TRUE(o.getBool("missing", true));
 }
 
-TEST(Options, UnknownOptionIsFatal)
+TEST(Options, UnknownOptionThrows)
 {
     std::map<std::string, std::string> known{{"ok", "help"}};
     const char *argv[] = {"prog", "--bad", "1"};
-    EXPECT_EXIT(Options(3, const_cast<char **>(argv), known),
-                ::testing::ExitedWithCode(1), "unknown option");
+    test::expectThrows<ConfigError>(
+        [&] { Options opts(3, const_cast<char **>(argv), known); },
+        "unknown option");
 }
 
-TEST(Options, UnknownEqualsFormIsFatal)
+TEST(Options, UnknownEqualsFormThrows)
 {
     std::map<std::string, std::string> known{{"ok", "help"}};
     const char *argv[] = {"prog", "--bad=1"};
-    EXPECT_EXIT(Options(2, const_cast<char **>(argv), known),
-                ::testing::ExitedWithCode(1), "unknown option --bad");
+    test::expectThrows<ConfigError>(
+        [&] { Options opts(2, const_cast<char **>(argv), known); },
+        "unknown option --bad");
 }
 
 TEST(HashString, StableAndDistinct)

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "error_helpers.hh"
+
 #include <set>
 #include <unordered_set>
 
@@ -289,10 +291,10 @@ TEST(Presets, NamesRoundTrip)
     EXPECT_STREQ(workloadName(WorkloadKind::TPCW), "TPC-W");
 }
 
-TEST(Presets, UnknownNameIsFatal)
+TEST(Presets, UnknownNameThrows)
 {
-    EXPECT_EXIT(parseWorkloadKind("quake3"),
-                ::testing::ExitedWithCode(1), "unknown workload");
+    test::expectThrows<ConfigError>(
+        [] { parseWorkloadKind("quake3"); }, "unknown workload");
 }
 
 TEST(Presets, ProgramsAreMemoized)
