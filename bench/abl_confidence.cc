@@ -24,18 +24,15 @@ main(int argc, char **argv)
     // tag-probe and confidence variants.
     std::vector<RunSpec> specs;
     for (WorkloadKind k : kinds) {
-        RunSpec base_spec;
-        base_spec.cmp = true;
-        base_spec.workloads = {k};
-        base_spec.instrScale = ctx.scale;
+        RunSpec base_spec =
+            ctx.spec().cmp(true).workload(k).build();
         specs.push_back(base_spec);
-        for (bool confidence : {false, true}) {
-            RunSpec spec = base_spec;
-            spec.scheme = PrefetchScheme::Discontinuity;
-            spec.bypassL2 = true;
-            spec.useConfidenceFilter = confidence;
-            specs.push_back(spec);
-        }
+        for (bool confidence : {false, true})
+            specs.push_back(RunSpec::Builder(base_spec)
+                                .scheme(PrefetchScheme::Discontinuity)
+                                .bypassL2()
+                                .confidenceFilter(confidence)
+                                .build());
     }
     std::vector<SimResults> results = ctx.run(specs);
 

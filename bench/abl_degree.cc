@@ -21,24 +21,17 @@ main(int argc, char **argv)
 
     // One batch: baselines first, then the degree grid (row-major).
     std::vector<RunSpec> specs;
-    for (WorkloadKind k : kinds) {
-        RunSpec spec;
-        spec.cmp = true;
-        spec.workloads = {k};
-        spec.instrScale = ctx.scale;
-        specs.push_back(spec);
-    }
+    for (WorkloadKind k : kinds)
+        specs.push_back(ctx.spec().cmp(true).workload(k).build());
     for (unsigned n : degrees) {
-        for (WorkloadKind k : kinds) {
-            RunSpec spec;
-            spec.cmp = true;
-            spec.workloads = {k};
-            spec.scheme = PrefetchScheme::Discontinuity;
-            spec.degree = n;
-            spec.bypassL2 = true;
-            spec.instrScale = ctx.scale;
-            specs.push_back(spec);
-        }
+        for (WorkloadKind k : kinds)
+            specs.push_back(ctx.spec()
+                                .cmp(true)
+                                .workload(k)
+                                .scheme(PrefetchScheme::Discontinuity)
+                                .degree(n)
+                                .bypassL2()
+                                .build());
     }
     std::vector<SimResults> results = ctx.run(specs);
 

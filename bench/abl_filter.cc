@@ -27,19 +27,16 @@ main(int argc, char **argv)
 
     // One batch: the no-prefetch baseline plus every filter config.
     std::vector<RunSpec> specs;
-    RunSpec base_spec;
-    base_spec.cmp = true;
-    base_spec.workloads = {WorkloadKind::DB};
-    base_spec.instrScale = ctx.scale;
+    RunSpec base_spec =
+        ctx.spec().cmp(true).workload(WorkloadKind::DB).build();
     specs.push_back(base_spec);
-    for (Cfg c : cfgs) {
-        RunSpec spec = base_spec;
-        spec.scheme = PrefetchScheme::Discontinuity;
-        spec.bypassL2 = true;
-        spec.historySize = c.history;
-        spec.queueSize = c.queue;
-        specs.push_back(spec);
-    }
+    for (Cfg c : cfgs)
+        specs.push_back(RunSpec::Builder(base_spec)
+                            .scheme(PrefetchScheme::Discontinuity)
+                            .bypassL2()
+                            .historySize(c.history)
+                            .queueSize(c.queue)
+                            .build());
     std::vector<SimResults> results = ctx.run(specs);
     const SimResults &base = results[0];
 

@@ -39,25 +39,18 @@ main(int argc, char **argv)
 
     // One batch: baselines first, then the variant grid (row-major).
     std::vector<RunSpec> specs;
-    for (WorkloadKind k : kinds) {
-        RunSpec spec;
-        spec.cmp = true;
-        spec.workloads = {k};
-        spec.instrScale = ctx.scale;
-        specs.push_back(spec);
-    }
+    for (WorkloadKind k : kinds)
+        specs.push_back(ctx.spec().cmp(true).workload(k).build());
     for (const auto &v : variants) {
-        for (WorkloadKind k : kinds) {
-            RunSpec spec;
-            spec.cmp = true;
-            spec.workloads = {k};
-            spec.scheme = v.scheme;
-            spec.degree = v.degree;
-            spec.targetWays = v.ways;
-            spec.bypassL2 = true;
-            spec.instrScale = ctx.scale;
-            specs.push_back(spec);
-        }
+        for (WorkloadKind k : kinds)
+            specs.push_back(ctx.spec()
+                                .cmp(true)
+                                .workload(k)
+                                .scheme(v.scheme)
+                                .degree(v.degree)
+                                .targetWays(v.ways)
+                                .bypassL2()
+                                .build());
     }
     std::vector<SimResults> results = ctx.run(specs);
 

@@ -18,6 +18,13 @@
  *   --trace-events N     keep the last N structured trace events
  *   --trace-out FILE     trace destination (JSON lines)
  *   --profile-sites K    track the K hottest miss sites / edges
+ *   --scheme TOK[,TOK]   prefetch scheme(s) to compare, as registry
+ *                        tokens or aliases (see schemeRegistry();
+ *                        default: the paper's Figure 5-9 set)
+ *   --trace FILE         replay a binary trace file on every core
+ *                        instead of the synthetic workloads
+ *   --trace-tolerant     salvage the intact prefix of a damaged
+ *                        trace instead of failing the run
  *   --retries N          attempts per run; transient failures back
  *                        off and retry (default 1 = no retries)
  *   --timeout-ms N       per-run deadline; runaway runs are marked
@@ -71,6 +78,60 @@ struct BenchContext
             opts.getString("trace-out", "trace_events.jsonl");
         obs.profileSites = opts.getUint("profile-sites", 0);
         setObservability(obs);
+
+        std::string tracePath = opts.getString("trace");
+        if (!tracePath.empty())
+            trace = TraceSpec::file(tracePath,
+                                    opts.getBool("trace-tolerant"));
+
+        schemeArg = opts.getString("scheme");
+    }
+
+    /**
+     * The schemes this bench compares: the --scheme list (comma
+     * separated registry tokens/aliases), or the paper's Figure 5-9
+     * set when the flag is absent. Throws ConfigError on an unknown
+     * token.
+     */
+    std::vector<PrefetchScheme>
+    schemes() const
+    {
+        if (schemeArg.empty()) {
+            static const std::vector<PrefetchScheme> paper = {
+                PrefetchScheme::NextLineOnMiss,
+                PrefetchScheme::NextLineTagged,
+                PrefetchScheme::NextNLineTagged,
+                PrefetchScheme::Discontinuity,
+            };
+            return paper;
+        }
+        std::vector<PrefetchScheme> out;
+        std::string tok;
+        for (char c : schemeArg + ",") {
+            if (c != ',') {
+                tok += c;
+                continue;
+            }
+            if (!tok.empty())
+                out.push_back(parseScheme(tok));
+            tok.clear();
+        }
+        return out;
+    }
+
+    /**
+     * A Builder pre-loaded with this bench's cross-cutting inputs
+     * (instruction scale, --trace replay); start every spec here so
+     * CLI-level knobs apply uniformly.
+     */
+    RunSpec::Builder
+    spec() const
+    {
+        RunSpec::Builder b;
+        b.instrScale(scale);
+        if (trace.enabled())
+            b.trace(trace);
+        return b;
     }
 
     /**
@@ -118,6 +179,8 @@ struct BenchContext
     bool csv = false;
     unsigned jobs = 0;     //!< 0 = hardware concurrency
     BatchOptions batch;            //!< retry / timeout / checkpoint knobs
+    TraceSpec trace;               //!< --trace replay input (may be unset)
+    std::string schemeArg;         //!< raw --scheme value
     mutable unsigned failures = 0; //!< non-Ok outcomes seen by run()
 };
 
@@ -128,7 +191,11 @@ speedup(const SimResults &base, const SimResults &x)
     return base.ipc > 0 ? x.ipc / base.ipc : 0.0;
 }
 
-/** The prefetching schemes compared in Figures 5-9. */
+/**
+ * The prefetching schemes compared in Figures 5-9.
+ * @deprecated Use BenchContext::schemes(), which also honours the
+ * --scheme flag; this remains for out-of-tree drivers.
+ */
 inline const std::vector<PrefetchScheme> &
 paperSchemes()
 {

@@ -21,15 +21,13 @@ main(int argc, char **argv)
     std::vector<RunSpec> specs;
     for (std::uint64_t mb : {1, 2, 4}) {
         for (bool cmp : {false, true}) {
-            for (const auto &ws : sets) {
-                RunSpec spec;
-                spec.cmp = cmp;
-                spec.workloads = ws.kinds;
-                spec.functional = true;
-                spec.l2Bytes = mb << 20;
-                spec.instrScale = ctx.scale;
-                specs.push_back(spec);
-            }
+            for (const auto &ws : sets)
+                specs.push_back(ctx.spec()
+                                    .cmp(cmp)
+                                    .workloads(ws.kinds)
+                                    .functional()
+                                    .l2Bytes(mb << 20)
+                                    .build());
         }
     }
     std::vector<SimResults> results = ctx.run(specs);

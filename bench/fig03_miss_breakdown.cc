@@ -20,14 +20,12 @@ breakdownTable(const BenchContext &ctx, const char *title, bool cmp,
     const auto sets = figureWorkloads(include_mix);
 
     std::vector<RunSpec> specs;
-    for (const auto &ws : sets) {
-        RunSpec spec;
-        spec.cmp = cmp;
-        spec.workloads = ws.kinds;
-        spec.functional = true;
-        spec.instrScale = ctx.scale;
-        specs.push_back(spec);
-    }
+    for (const auto &ws : sets)
+        specs.push_back(ctx.spec()
+                            .cmp(cmp)
+                            .workloads(ws.kinds)
+                            .functional()
+                            .build());
     std::vector<SimResults> results = ctx.run(specs);
 
     Table t(title);

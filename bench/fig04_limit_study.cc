@@ -47,23 +47,17 @@ limitTable(const BenchContext &ctx, const char *title, bool cmp,
 
     // One batch: baselines first, then the series grid (row-major).
     std::vector<RunSpec> specs;
-    for (const auto &ws : sets) {
-        RunSpec spec;
-        spec.cmp = cmp;
-        spec.workloads = ws.kinds;
-        spec.instrScale = ctx.scale;
-        specs.push_back(spec);
-    }
+    for (const auto &ws : sets)
+        specs.push_back(
+            ctx.spec().cmp(cmp).workloads(ws.kinds).build());
     for (const auto &[label, eliminate] : series) {
         (void)label;
-        for (const auto &ws : sets) {
-            RunSpec spec;
-            spec.cmp = cmp;
-            spec.workloads = ws.kinds;
-            spec.instrScale = ctx.scale;
-            spec.idealEliminate = eliminate;
-            specs.push_back(spec);
-        }
+        for (const auto &ws : sets)
+            specs.push_back(ctx.spec()
+                                .cmp(cmp)
+                                .workloads(ws.kinds)
+                                .eliminate(eliminate)
+                                .build());
     }
     std::vector<SimResults> results = ctx.run(specs);
 

@@ -20,23 +20,18 @@ pollutionTable(const BenchContext &ctx, const char *title, bool cmp,
     const auto sets = figureWorkloads(include_mix);
 
     // One batch: baselines first, then the scheme grid (row-major).
+    const auto schemes = ctx.schemes();
     std::vector<RunSpec> specs;
-    for (const auto &ws : sets) {
-        RunSpec spec;
-        spec.cmp = cmp;
-        spec.workloads = ws.kinds;
-        spec.instrScale = ctx.scale;
-        specs.push_back(spec);
-    }
-    for (PrefetchScheme scheme : paperSchemes()) {
-        for (const auto &ws : sets) {
-            RunSpec spec;
-            spec.cmp = cmp;
-            spec.workloads = ws.kinds;
-            spec.scheme = scheme;
-            spec.instrScale = ctx.scale;
-            specs.push_back(spec);
-        }
+    for (const auto &ws : sets)
+        specs.push_back(
+            ctx.spec().cmp(cmp).workloads(ws.kinds).build());
+    for (PrefetchScheme scheme : schemes) {
+        for (const auto &ws : sets)
+            specs.push_back(ctx.spec()
+                                .cmp(cmp)
+                                .workloads(ws.kinds)
+                                .scheme(scheme)
+                                .build());
     }
     std::vector<SimResults> results = ctx.run(specs);
 
@@ -47,7 +42,7 @@ pollutionTable(const BenchContext &ctx, const char *title, bool cmp,
     t.header(header);
 
     std::size_t next = sets.size();
-    for (PrefetchScheme scheme : paperSchemes()) {
+    for (PrefetchScheme scheme : schemes) {
         std::vector<std::string> row = {schemeName(scheme)};
         for (std::size_t wi = 0; wi < sets.size(); ++wi) {
             const SimResults &r = results[next++];

@@ -44,24 +44,18 @@ main(int argc, char **argv)
 
     // One batch: baselines first, then the scheme grid (row-major).
     std::vector<RunSpec> specs;
-    for (const auto &ws : sets) {
-        RunSpec spec;
-        spec.cmp = true;
-        spec.workloads = ws.kinds;
-        spec.instrScale = ctx.scale;
-        specs.push_back(spec);
-    }
+    for (const auto &ws : sets)
+        specs.push_back(
+            ctx.spec().cmp(true).workloads(ws.kinds).build());
     for (const auto &ss : schemesWith2NL()) {
-        for (const auto &ws : sets) {
-            RunSpec spec;
-            spec.cmp = true;
-            spec.workloads = ws.kinds;
-            spec.scheme = ss.scheme;
-            spec.degree = ss.degree;
-            spec.bypassL2 = true;
-            spec.instrScale = ctx.scale;
-            specs.push_back(spec);
-        }
+        for (const auto &ws : sets)
+            specs.push_back(ctx.spec()
+                                .cmp(true)
+                                .workloads(ws.kinds)
+                                .scheme(ss.scheme)
+                                .degree(ss.degree)
+                                .bypassL2()
+                                .build());
     }
     std::vector<SimResults> results = ctx.run(specs);
 

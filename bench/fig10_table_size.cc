@@ -50,23 +50,17 @@ main(int argc, char **argv)
 
     // One batch: baselines first, then the table-size grid.
     std::vector<RunSpec> specs;
-    for (const auto &ws : sets) {
-        RunSpec spec;
-        spec.cmp = true;
-        spec.workloads = ws.kinds;
-        spec.instrScale = ctx.scale;
-        specs.push_back(spec);
-    }
+    for (const auto &ws : sets)
+        specs.push_back(
+            ctx.spec().cmp(true).workloads(ws.kinds).build());
     for (const auto &cfg : rows) {
-        for (const auto &ws : sets) {
-            RunSpec spec;
-            spec.cmp = true;
-            spec.workloads = ws.kinds;
-            spec.scheme = cfg.scheme;
-            spec.tableEntries = cfg.entries;
-            spec.instrScale = ctx.scale;
-            specs.push_back(spec);
-        }
+        for (const auto &ws : sets)
+            specs.push_back(ctx.spec()
+                                .cmp(true)
+                                .workloads(ws.kinds)
+                                .scheme(cfg.scheme)
+                                .tableEntries(cfg.entries)
+                                .build());
     }
     std::vector<SimResults> results = ctx.run(specs);
 

@@ -73,17 +73,17 @@ main(int argc, char **argv)
         bool bypass;
     };
     std::vector<Case> cases = {{"none", PrefetchScheme::None, false}};
-    for (PrefetchScheme s : paperSchemes())
+    for (PrefetchScheme s : ctx.schemes())
         cases.push_back({schemeName(s), s, true});
 
     std::vector<Sample> samples;
     for (const auto &c : cases) {
-        RunSpec spec;
-        spec.cmp = true;
-        spec.workloads = {WorkloadKind::DB};
-        spec.scheme = c.scheme;
-        spec.bypassL2 = c.bypass;
-        spec.instrScale = ctx.scale;
+        RunSpec spec = ctx.spec()
+                           .cmp(true)
+                           .workload(WorkloadKind::DB)
+                           .scheme(c.scheme)
+                           .bypassL2(c.bypass)
+                           .build();
         samples.push_back(measure(c.label, spec, reps));
     }
 

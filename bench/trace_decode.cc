@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Trace-decode microbenchmark: records/second sustained by each trace
+ * reader path, tracking the v3 zero-copy decoder against the v2
+ * stdio reader it replaces.
+ *
+ * A synthetic DB workload stream is written once in both formats to a
+ * scratch directory, then each file is drained through
+ * openTraceReader() with large nextBatch() reads. Best-of---reps
+ * throughput and the v3/v2 speedup land in a JSON summary (default
+ * BENCH_trace_decode.json); the PR-5 acceptance floor is 3x.
+ *
+ * Usage:
+ *   trace_decode [--records N] [--reps N] [--dir PATH] [--out FILE]
+ *                [--csv]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_file.hh"
+#include "trace/trace_v3.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+#include "util/table.hh"
+#include "workload/presets.hh"
+
+using namespace ipref;
+
+namespace
+{
+
+struct Sample
+{
+    std::string label;
+    unsigned version = 0;
+    double mrecPerSec = 0.0; //!< million records / second
+    double seconds = 0.0;
+    std::uint64_t records = 0;
+    std::uint64_t fileBytes = 0;
+};
+
+/** Write @p n records of a DB workload stream as @p format. */
+std::uint64_t
+writeTrace(const std::string &path, TraceFormat format,
+           std::uint64_t n)
+{
+    auto wl = makeWorkload(WorkloadKind::DB, 0);
+    TraceFileWriter writer(path, 0, format);
+    InstrRecord rec;
+    for (std::uint64_t i = 0; i < n && wl->next(rec); ++i)
+        writer.write(rec);
+    writer.close();
+    return writer.count();
+}
+
+std::uint64_t
+fileSize(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    return in ? static_cast<std::uint64_t>(in.tellg()) : 0;
+}
+
+/** Drain @p path once; returns records decoded, sets @p seconds. */
+std::uint64_t
+drainOnce(const std::string &path, double &seconds, unsigned &version)
+{
+    auto reader = openTraceReader(path);
+    version = reader->version();
+    std::vector<InstrRecord> buf(8192);
+    std::uint64_t total = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (;;) {
+        std::size_t got = reader->nextBatch(
+            std::span<InstrRecord>(buf.data(), buf.size()));
+        total += got;
+        if (got < buf.size())
+            break;
+    }
+    seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    return total;
+}
+
+Sample
+measure(const std::string &label, const std::string &path,
+        unsigned reps)
+{
+    Sample best;
+    best.label = label;
+    best.fileBytes = fileSize(path);
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        double seconds = 0.0;
+        unsigned version = 0;
+        std::uint64_t records = drainOnce(path, seconds, version);
+        double mrps = seconds > 0
+                          ? static_cast<double>(records) / seconds / 1e6
+                          : 0.0;
+        if (mrps > best.mrecPerSec) {
+            best.mrecPerSec = mrps;
+            best.seconds = seconds;
+            best.records = records;
+            best.version = version;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    Options opts(argc, argv);
+    std::uint64_t records = opts.getUint("records", 2'000'000);
+    unsigned reps = static_cast<unsigned>(opts.getUint("reps", 5));
+    std::string dir = opts.getString("dir", "/tmp");
+    std::string out_path =
+        opts.getString("out", "BENCH_trace_decode.json");
+
+    std::string v2_path = dir + "/bench_decode_v2.trc";
+    std::string v3_path = dir + "/bench_decode_v3.trc";
+    records = writeTrace(v2_path, TraceFormat::V2, records);
+    writeTrace(v3_path, TraceFormat::V3, records);
+
+    std::vector<Sample> samples = {
+        measure("v2-stdio", v2_path, reps),
+        measure("v3-mmap", v3_path, reps),
+    };
+    double speedup = samples[0].mrecPerSec > 0
+                         ? samples[1].mrecPerSec / samples[0].mrecPerSec
+                         : 0.0;
+
+    Table t("Trace decode throughput (" + std::to_string(records) +
+            " records, best of " + std::to_string(reps) + ")");
+    t.header({"Reader", "Mrec/s", "seconds", "file MB", "B/record"});
+    for (const Sample &s : samples)
+        t.row({s.label, Table::num(s.mrecPerSec, 2),
+               Table::num(s.seconds, 4),
+               Table::num(static_cast<double>(s.fileBytes) / 1e6, 2),
+               Table::num(static_cast<double>(s.fileBytes) /
+                              static_cast<double>(
+                                  s.records ? s.records : 1),
+                          2)});
+    if (opts.getBool("csv"))
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    std::cout << "\nv3 speedup over v2: " << speedup << "x\n";
+
+    std::ofstream out(out_path);
+    if (!out)
+        ipref_fatal("cannot write decode report to '%s'",
+                    out_path.c_str());
+    out << "{\n  \"benchmark\": \"trace_decode\",\n"
+        << "  \"records\": " << records << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"speedup_v3_over_v2\": " << speedup
+        << ",\n  \"readers\": [\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample &s = samples[i];
+        out << "    {\"reader\": \"" << s.label
+            << "\", \"version\": " << s.version
+            << ", \"mrec_per_sec\": " << s.mrecPerSec
+            << ", \"seconds\": " << s.seconds
+            << ", \"file_bytes\": " << s.fileBytes << "}"
+            << (i + 1 < samples.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "decode report written to " << out_path << "\n";
+
+    std::remove(v2_path.c_str());
+    std::remove(v3_path.c_str());
+    return 0;
+} catch (const SimError &e) {
+    std::cerr << "error (" << errorKindName(e.kind())
+              << "): " << e.what() << "\n";
+    return 1;
+}

@@ -50,17 +50,17 @@ try {
     // One batch: bandwidth-major, {base, disc-4, disc-2} per point.
     std::vector<RunSpec> specs;
     for (double gbps : channels) {
-        for (const auto &v : variants) {
-            RunSpec spec;
-            spec.cmp = true;
-            spec.workloads = {kind};
-            spec.scheme = v.scheme;
-            spec.degree = v.degree;
-            spec.bypassL2 = v.scheme != PrefetchScheme::None;
-            spec.instrScale = scale;
-            spec.memGbPerSec = gbps;
-            specs.push_back(spec);
-        }
+        for (const auto &v : variants)
+            specs.push_back(
+                RunSpec::builder()
+                    .cmp(true)
+                    .workload(kind)
+                    .scheme(v.scheme)
+                    .degree(v.degree)
+                    .bypassL2(v.scheme != PrefetchScheme::None)
+                    .instrScale(scale)
+                    .memGbPerSec(gbps)
+                    .build());
     }
     std::vector<SimResults> results = runSpecs(specs, jobs);
 

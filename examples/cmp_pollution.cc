@@ -61,25 +61,26 @@ try {
     Options opts(argc, argv);
     std::string w = opts.getString("workload", "mixed");
 
-    RunSpec spec;
-    spec.cmp = true;
-    if (w == "mixed") {
-        spec.workloads = {WorkloadKind::DB, WorkloadKind::TPCW,
-                          WorkloadKind::JAPP, WorkloadKind::WEB};
-    } else {
-        spec.workloads = {parseWorkloadKind(w)};
-    }
-    spec.instrScale = opts.getDouble("scale", 0.5);
+    // The preset resolver accepts "mixed" and the single names
+    // alike, so the CLI argument maps straight onto the TraceSpec.
+    RunSpec spec = RunSpec::builder()
+                       .cmp(true)
+                       .trace(TraceSpec::workloadPreset(w))
+                       .instrScale(opts.getDouble("scale", 0.5))
+                       .build();
 
     std::cout << "=== Shared-L2 pollution on a 4-way CMP ("
               << (w == "mixed" ? "Mixed" : w) << ") ===\n\n";
 
     // All three configurations as one batch.
     std::vector<RunSpec> specs = {spec};
-    spec.scheme = PrefetchScheme::Discontinuity;
-    specs.push_back(spec);
-    spec.bypassL2 = true;
-    specs.push_back(spec);
+    specs.push_back(RunSpec::Builder(spec)
+                        .scheme(PrefetchScheme::Discontinuity)
+                        .build());
+    specs.push_back(RunSpec::Builder(spec)
+                        .scheme(PrefetchScheme::Discontinuity)
+                        .bypassL2()
+                        .build());
     std::vector<SimResults> results = runSpecs(
         specs, static_cast<unsigned>(opts.getUint("jobs", 0)));
 

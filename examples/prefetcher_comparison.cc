@@ -29,10 +29,11 @@ try {
     double scale = opts.getDouble("scale", 0.5);
     unsigned jobs = static_cast<unsigned>(opts.getUint("jobs", 0));
 
-    RunSpec base_spec;
-    base_spec.cmp = cmp;
-    base_spec.workloads = {kind};
-    base_spec.instrScale = scale;
+    RunSpec base_spec = RunSpec::builder()
+                            .cmp(cmp)
+                            .workload(kind)
+                            .instrScale(scale)
+                            .build();
 
     struct Entry
     {
@@ -53,13 +54,12 @@ try {
 
     // One batch: the baseline first, then every scheme variant.
     std::vector<RunSpec> specs = {base_spec};
-    for (const auto &e : entries) {
-        RunSpec spec = base_spec;
-        spec.scheme = e.scheme;
-        spec.degree = e.degree;
-        spec.bypassL2 = e.bypass;
-        specs.push_back(spec);
-    }
+    for (const auto &e : entries)
+        specs.push_back(RunSpec::Builder(base_spec)
+                            .scheme(e.scheme)
+                            .degree(e.degree)
+                            .bypassL2(e.bypass)
+                            .build());
     std::vector<SimResults> results = runSpecs(specs, jobs);
     const SimResults &base = results[0];
 

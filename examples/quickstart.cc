@@ -11,13 +11,11 @@
  *              [--profile-sites K]
  */
 
-#include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "prefetch/fetch_profiler.hh"
 #include "sim/experiment.hh"
-#include "util/logging.hh"
 #include "util/options.hh"
 #include "util/trace_event.hh"
 
@@ -36,22 +34,19 @@ try {
     obs.profileSites = opts.getUint("profile-sites", 0);
     setObservability(obs);
 
-    RunSpec spec;
-    spec.cmp = opts.getInt("cores", 4) == 4;
-    std::string w = opts.getString("workload", "db");
-    if (w == "mixed") {
-        spec.workloads = {WorkloadKind::DB, WorkloadKind::TPCW,
-                          WorkloadKind::JAPP, WorkloadKind::WEB};
-    } else {
-        spec.workloads = {parseWorkloadKind(w)};
-    }
-    spec.scheme = parseScheme(opts.getString("scheme", "none"));
-    spec.bypassL2 = opts.getBool("bypass");
-    spec.functional = opts.getBool("functional");
-    spec.instrScale = opts.getDouble("scale", 1.0);
-    spec.degree = static_cast<unsigned>(opts.getInt("degree", 4));
-    spec.tableEntries =
-        static_cast<unsigned>(opts.getInt("table", 8192));
+    RunSpec spec =
+        RunSpec::builder()
+            .cmp(opts.getInt("cores", 4) == 4)
+            .trace(TraceSpec::workloadPreset(
+                opts.getString("workload", "db")))
+            .scheme(opts.getString("scheme", "none"))
+            .bypassL2(opts.getBool("bypass"))
+            .functional(opts.getBool("functional"))
+            .instrScale(opts.getDouble("scale", 1.0))
+            .degree(static_cast<unsigned>(opts.getInt("degree", 4)))
+            .tableEntries(static_cast<unsigned>(
+                opts.getInt("table", 8192)))
+            .build();
 
     System system(makeConfig(spec));
     SimResults r = system.run();
@@ -131,21 +126,20 @@ try {
     if (opts.getBool("stats"))
         system.dumpStats(std::cout);
 
+    // All report output is funneled through the installed
+    // ReportSink; the default FileReportSink honors the same
+    // --stats-json / --trace-out paths the old inline code wrote.
     if (!obs.jsonPath.empty()) {
-        std::ofstream out(obs.jsonPath);
-        if (!out)
-            ipref_fatal("cannot write JSON report to '%s'",
-                        obs.jsonPath.c_str());
-        std::ostringstream report;
-        system.dumpJson(report);
-        out << "[\n" << report.str() << "]\n";
+        commitSystemReport(system);
+        flushObservability();
         std::cout << "JSON report written to " << obs.jsonPath
                   << "\n";
     }
     if (const TraceSink *sink = system.traceSink();
         sink && !obs.tracePath.empty()) {
-        std::ofstream out(obs.tracePath);
-        sink->writeJsonLines(out);
+        std::ostringstream lines;
+        sink->writeJsonLines(lines);
+        reportSink()->recordTrace(lines.str());
         std::cout << "trace events written to " << obs.tracePath
                   << " (" << sink->size() << " of "
                   << sink->recorded() << " recorded)\n";

@@ -6,7 +6,7 @@
  *
  * Usage:
  *   trace_tools [--workload db] [--instrs N] [--save path]
- *               [--load path] [--tolerant]
+ *               [--format v2|v3] [--load path] [--tolerant]
  *
  * --tolerant salvages the valid prefix of a damaged trace (with a
  * warning) instead of failing; any error exits 1 with a message.
@@ -19,6 +19,7 @@
 #include "analysis/analyzer.hh"
 #include "trace/trace_file.hh"
 #include "trace/trace_stats.hh"
+#include "trace/trace_v3.hh"
 #include "util/options.hh"
 #include "workload/presets.hh"
 
@@ -68,14 +69,16 @@ try {
         TraceReadMode mode = opts.getBool("tolerant")
                                  ? TraceReadMode::Tolerant
                                  : TraceReadMode::Strict;
-        TraceFileReader reader(opts.getString("load"), mode);
-        TraceSummary s = summarizeTrace(reader, n);
+        // openTraceReader sniffs the version: v1/v2 get the stdio
+        // reader, v3 the mmap-backed zero-copy one.
+        auto reader = openTraceReader(opts.getString("load"), mode);
+        TraceSummary s = summarizeTrace(*reader, n);
         s.print(std::cout);
-        if (reader.corrupt())
+        if (reader->corrupt())
             std::cerr << "warning: trace damaged, salvaged "
-                      << reader.delivered() << " of "
-                      << reader.count() << " records ("
-                      << reader.corruptionDetail() << ")\n";
+                      << reader->delivered() << " of "
+                      << reader->count() << " records ("
+                      << reader->corruptionDetail() << ")\n";
         return 0;
     }
 
@@ -84,7 +87,13 @@ try {
     auto wl = makeWorkload(kind, 0);
 
     if (opts.has("save")) {
-        TraceFileWriter writer(opts.getString("save"));
+        std::string fmt = opts.getString("format", "v3");
+        if (fmt != "v2" && fmt != "v3")
+            throw ConfigError("unknown --format '" + fmt +
+                              "' (valid: v2, v3)");
+        TraceFileWriter writer(opts.getString("save"), 0,
+                               fmt == "v2" ? TraceFormat::V2
+                                           : TraceFormat::V3);
         InstrRecord rec;
         for (std::uint64_t i = 0; i < n && wl->next(rec); ++i)
             writer.write(rec);

@@ -11,22 +11,48 @@
 namespace ipref
 {
 
+const std::vector<SchemeInfo> &
+schemeRegistry()
+{
+    // Tokens and aliases here are a compatibility surface: scripts
+    // and CI pin them, so entries may be added but never renamed.
+    static const std::vector<SchemeInfo> registry = {
+        {PrefetchScheme::None, "none", "no prefetch", {}},
+        {PrefetchScheme::NextLineAlways, "nl-always",
+         "next-line (always)", {}},
+        {PrefetchScheme::NextLineOnMiss, "nl-miss",
+         "next-line (on miss)", {}},
+        {PrefetchScheme::NextLineTagged, "nl-tagged",
+         "next-line (tagged)", {}},
+        {PrefetchScheme::NextNLineTagged, "n4l",
+         "next-4-lines (tagged)", {"nnl-tagged"}},
+        {PrefetchScheme::LookaheadN, "lookahead", "lookahead-N", {}},
+        {PrefetchScheme::Discontinuity, "discontinuity",
+         "discontinuity", {"disc"}},
+        {PrefetchScheme::TargetHistory, "target", "target", {}},
+        {PrefetchScheme::WrongPath, "wrong-path", "wrong-path",
+         {"wrongpath"}},
+        {PrefetchScheme::CallGraph, "call-graph", "call-graph",
+         {"cgp"}},
+    };
+    return registry;
+}
+
 const char *
 schemeName(PrefetchScheme scheme)
 {
-    switch (scheme) {
-      case PrefetchScheme::None: return "no prefetch";
-      case PrefetchScheme::NextLineAlways: return "next-line (always)";
-      case PrefetchScheme::NextLineOnMiss: return "next-line (on miss)";
-      case PrefetchScheme::NextLineTagged: return "next-line (tagged)";
-      case PrefetchScheme::NextNLineTagged:
-        return "next-4-lines (tagged)";
-      case PrefetchScheme::LookaheadN: return "lookahead-N";
-      case PrefetchScheme::Discontinuity: return "discontinuity";
-      case PrefetchScheme::TargetHistory: return "target";
-      case PrefetchScheme::WrongPath: return "wrong-path";
-      case PrefetchScheme::CallGraph: return "call-graph";
-    }
+    for (const auto &info : schemeRegistry())
+        if (info.scheme == scheme)
+            return info.display;
+    return "?";
+}
+
+const char *
+schemeToken(PrefetchScheme scheme)
+{
+    for (const auto &info : schemeRegistry())
+        if (info.scheme == scheme)
+            return info.token;
     return "?";
 }
 
@@ -45,27 +71,22 @@ originName(PrefetchOrigin origin)
 PrefetchScheme
 parseScheme(const std::string &name)
 {
-    if (name == "none")
-        return PrefetchScheme::None;
-    if (name == "nl-always")
-        return PrefetchScheme::NextLineAlways;
-    if (name == "nl-miss")
-        return PrefetchScheme::NextLineOnMiss;
-    if (name == "nl-tagged")
-        return PrefetchScheme::NextLineTagged;
-    if (name == "n4l" || name == "nnl-tagged")
-        return PrefetchScheme::NextNLineTagged;
-    if (name == "lookahead")
-        return PrefetchScheme::LookaheadN;
-    if (name == "discontinuity" || name == "disc")
-        return PrefetchScheme::Discontinuity;
-    if (name == "target")
-        return PrefetchScheme::TargetHistory;
-    if (name == "wrong-path" || name == "wrongpath")
-        return PrefetchScheme::WrongPath;
-    if (name == "call-graph" || name == "cgp")
-        return PrefetchScheme::CallGraph;
-    ipref_raise(ConfigError, "unknown prefetch scheme '%s'", name.c_str());
+    for (const auto &info : schemeRegistry()) {
+        if (name == info.token)
+            return info.scheme;
+        for (const auto &alias : info.aliases)
+            if (name == alias)
+                return info.scheme;
+    }
+    std::string valid;
+    for (const auto &info : schemeRegistry()) {
+        if (!valid.empty())
+            valid += ", ";
+        valid += info.token;
+    }
+    ipref_raise(ConfigError,
+                "unknown prefetch scheme '%s' (valid: %s)",
+                name.c_str(), valid.c_str());
 }
 
 std::unique_ptr<InstructionPrefetcher>

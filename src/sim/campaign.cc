@@ -117,7 +117,7 @@ fingerprintSpec(const RunSpec &spec)
 {
     // SplitMix64 chain over every result-affecting field; doubles are
     // mixed by bit pattern so the fingerprint is exact, not rounded.
-    std::uint64_t h = hashString("ipref.campaign.v1");
+    std::uint64_t h = hashString("ipref.campaign.v2");
     auto mix = [&h](std::uint64_t v) {
         std::uint64_t s = h ^ v;
         h = splitMix64(s);
@@ -151,8 +151,15 @@ fingerprintSpec(const RunSpec &spec)
     mix(spec.lineBytes);
     mixDouble(spec.instrScale);
     mix(spec.baseSeed);
-    mix(hashString(spec.tracePath));
-    mix(spec.traceTolerant ? 1 : 0);
+    // The trace input is fingerprinted in its effective (merged)
+    // form, so the deprecated loose-field spelling and an equivalent
+    // TraceSpec hash identically. `shared` is a performance knob with
+    // no effect on results, so it is deliberately excluded.
+    TraceSpec trace = spec.effectiveTrace();
+    mix(hashString(trace.path));
+    mix(hashString(trace.preset));
+    mix(trace.loop ? 1 : 0);
+    mix(trace.tolerant ? 1 : 0);
     mix(spec.faultAtInstr);
     mix(spec.faultTransient ? 1 : 0);
     mix(spec.faultAttempts);

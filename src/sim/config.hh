@@ -17,6 +17,7 @@
 #include "cache/hierarchy.hh"
 #include "cpu/core.hh"
 #include "prefetch/prefetcher.hh"
+#include "trace/trace_spec.hh"
 #include "workload/presets.hh"
 
 namespace ipref
@@ -97,13 +98,35 @@ struct SystemConfig
     unsigned profileSites = 0;
 
     /**
-     * Trace-driven input: when non-empty, every core replays this
-     * binary trace file (ChampSim-style ingestion) instead of running
-     * a synthetic workload walker; the trace loops on exhaustion.
-     * Corruption surfaces as TraceError unless traceReadTolerant.
+     * Trace-driven input: when trace.enabled(), every core replays
+     * the named binary trace file (ChampSim-style ingestion) instead
+     * of running a synthetic workload walker. Loop/tolerant/shared
+     * behavior comes from the spec; see trace/trace_spec.hh.
+     */
+    TraceSpec trace;
+
+    /**
+     * @deprecated Pre-TraceSpec spelling, still honored when trace is
+     * not enabled() — see effectiveTrace(). Use `trace` instead.
      */
     std::string tracePath;
     bool traceReadTolerant = false;
+
+    /**
+     * The trace input after merging the deprecated loose fields: the
+     * TraceSpec wins when set, else tracePath/traceReadTolerant are
+     * lifted into one. Every consumer (System, fingerprints) reads
+     * this, so both spellings behave identically.
+     */
+    TraceSpec
+    effectiveTrace() const
+    {
+        if (trace.enabled() || !trace.preset.empty())
+            return trace;
+        if (!tracePath.empty())
+            return TraceSpec::file(tracePath, traceReadTolerant);
+        return trace;
+    }
 
     /** Cancellation handle polled by the run loops (may be null). */
     std::shared_ptr<RunControl> control;

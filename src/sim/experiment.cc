@@ -26,15 +26,24 @@ namespace
 ObservabilityOptions g_observability;
 
 /**
- * Buffered observability side effects. g_reportMutex serializes every
- * access: runs executing on pool workers produce their output
- * privately (each System is self-contained) and the collector commits
- * it here in input order.
+ * The installed report sink. g_reportMutex guards the pointer itself;
+ * sinks are internally thread-safe, so holders may use a grabbed
+ * shared_ptr without the lock. Lazily defaults to a FileReportSink
+ * over the (empty) default ObservabilityOptions.
  */
 std::mutex g_reportMutex;
-std::vector<std::string> g_jsonReports;
-bool g_reportsDirty = false;
+std::shared_ptr<ReportSink> g_reportSink;
 bool g_flushRegistered = false;
+
+std::shared_ptr<ReportSink>
+currentSink()
+{
+    std::lock_guard<std::mutex> lock(g_reportMutex);
+    if (!g_reportSink)
+        g_reportSink = std::make_shared<FileReportSink>(
+            g_observability.jsonPath, g_observability.tracePath);
+    return g_reportSink;
+}
 
 /** Everything one run emits besides its SimResults. */
 struct RunOutput
@@ -76,46 +85,95 @@ produceRun(const RunSpec &spec, unsigned attempt = 1,
 
 /**
  * Commit one run's side effects, in input order: buffer the JSON
- * report and overwrite the trace file with this run's tail (matching
- * the sequential behaviour where the file holds the most recent run).
+ * report and hand the trace tail to the sink (which, for the default
+ * file sink, overwrites the trace file so it holds the most recent
+ * run — the sequential behaviour).
  */
 void
 commitRun(RunOutput &&out)
 {
-    std::lock_guard<std::mutex> lock(g_reportMutex);
-    if (!out.jsonReport.empty()) {
-        g_jsonReports.push_back(std::move(out.jsonReport));
-        g_reportsDirty = true;
-    }
-    if (out.traced) {
-        std::ofstream trace(g_observability.tracePath);
-        if (trace)
-            trace << out.traceJsonl;
-    }
+    std::shared_ptr<ReportSink> sink = currentSink();
+    if (!out.jsonReport.empty())
+        sink->recordReport(out.jsonReport);
+    if (out.traced)
+        sink->recordTrace(out.traceJsonl);
 }
 
 } // namespace
 
+// --- report sink ------------------------------------------------------
+
+FileReportSink::FileReportSink(std::string jsonPath,
+                               std::string tracePath)
+    : jsonPath_(std::move(jsonPath)), tracePath_(std::move(tracePath))
+{}
+
 void
-flushObservability()
+FileReportSink::recordReport(const std::string &json)
 {
-    std::lock_guard<std::mutex> lock(g_reportMutex);
-    if (!g_reportsDirty || g_observability.jsonPath.empty())
+    std::lock_guard<std::mutex> lock(mu_);
+    reports_.push_back(json);
+    dirty_ = true;
+}
+
+void
+FileReportSink::recordTrace(const std::string &jsonl)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tracePath_.empty())
         return;
-    std::ofstream out(g_observability.jsonPath);
+    std::ofstream trace(tracePath_);
+    if (trace)
+        trace << jsonl;
+}
+
+void
+FileReportSink::flush()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!dirty_ || jsonPath_.empty())
+        return;
+    std::ofstream out(jsonPath_);
     if (!out) {
         // Runs from atexit(): aborting the whole process over a report
         // it was already exiting from helps nobody — warn and keep the
         // buffered reports for a later explicit flush.
         ipref_warn("cannot write JSON report to '%s'",
-                   g_observability.jsonPath.c_str());
+                   jsonPath_.c_str());
         return;
     }
     out << "[\n";
-    for (std::size_t i = 0; i < g_jsonReports.size(); ++i)
-        out << (i ? ",\n" : "") << g_jsonReports[i];
+    for (std::size_t i = 0; i < reports_.size(); ++i)
+        out << (i ? ",\n" : "") << reports_[i];
     out << "]\n";
-    g_reportsDirty = false;
+    dirty_ = false;
+}
+
+void
+setReportSink(std::shared_ptr<ReportSink> sink)
+{
+    std::lock_guard<std::mutex> lock(g_reportMutex);
+    g_reportSink = std::move(sink);
+}
+
+std::shared_ptr<ReportSink>
+reportSink()
+{
+    return currentSink();
+}
+
+void
+commitSystemReport(const System &system)
+{
+    std::ostringstream report;
+    system.dumpJson(report);
+    currentSink()->recordReport(report.str());
+}
+
+void
+flushObservability()
+{
+    currentSink()->flush();
 }
 
 void
@@ -123,8 +181,10 @@ setObservability(const ObservabilityOptions &opts)
 {
     std::lock_guard<std::mutex> lock(g_reportMutex);
     g_observability = opts;
-    g_jsonReports.clear();
-    g_reportsDirty = false;
+    // Installing options resets the sink: buffered reports from a
+    // previous configuration are dropped, as before.
+    g_reportSink = std::make_shared<FileReportSink>(opts.jsonPath,
+                                                    opts.tracePath);
     if (!opts.jsonPath.empty() && !g_flushRegistered) {
         std::atexit(flushObservability);
         g_flushRegistered = true;
@@ -137,12 +197,97 @@ observability()
     return g_observability;
 }
 
+namespace
+{
+
+/** Resolve a TraceSpec preset name to a workload list. */
+std::vector<WorkloadKind>
+presetWorkloads(const std::string &preset)
+{
+    if (preset == "mixed" || preset == "Mixed")
+        return {WorkloadKind::DB, WorkloadKind::TPCW,
+                WorkloadKind::JAPP, WorkloadKind::WEB};
+    return {parseWorkloadKind(preset)};
+}
+
+} // namespace
+
+RunSpec::Builder &
+RunSpec::Builder::scheme(const std::string &token)
+{
+    spec_.scheme = parseScheme(token);
+    return *this;
+}
+
+RunSpec::Builder &
+RunSpec::Builder::policy(const PrefetchPolicy &p)
+{
+    spec_.scheme = p.scheme;
+    spec_.degree = p.degree;
+    spec_.tableEntries = p.tableEntries;
+    spec_.targetWays = p.targetWays;
+    spec_.queueSize = p.queueSize;
+    spec_.historySize = p.historySize;
+    spec_.useConfidenceFilter = p.useConfidenceFilter;
+    return *this;
+}
+
+RunSpec
+RunSpec::Builder::build() const
+{
+    const RunSpec &s = spec_;
+    TraceSpec trace = s.effectiveTrace();
+
+    if (!trace.enabled() && trace.preset.empty() &&
+        s.workloads.empty())
+        ipref_raise(ConfigError,
+                    "RunSpec: no instruction stream (set workloads, "
+                    "a trace file, or a workload preset)");
+    if (trace.enabled() && !trace.preset.empty())
+        ipref_raise(ConfigError,
+                    "RunSpec: trace path and workload preset are "
+                    "mutually exclusive");
+    if (!trace.preset.empty())
+        presetWorkloads(trace.preset); // throws on an unknown name
+    if (s.scheme != PrefetchScheme::None && s.degree == 0)
+        ipref_raise(ConfigError,
+                    "RunSpec: prefetch degree must be >= 1");
+    if (s.instrScale <= 0.0)
+        ipref_raise(ConfigError,
+                    "RunSpec: instrScale must be > 0 (got %g)",
+                    s.instrScale);
+    if (s.memGbPerSec < 0.0)
+        ipref_raise(ConfigError,
+                    "RunSpec: memGbPerSec must be >= 0 (got %g)",
+                    s.memGbPerSec);
+    if (s.l1iBytes == 0 || s.l2Bytes == 0)
+        ipref_raise(ConfigError,
+                    "RunSpec: cache sizes must be non-zero");
+    if (s.l1iAssoc == 0)
+        ipref_raise(ConfigError, "RunSpec: l1iAssoc must be >= 1");
+    if (s.lineBytes == 0 || (s.lineBytes & (s.lineBytes - 1)) != 0)
+        ipref_raise(ConfigError,
+                    "RunSpec: lineBytes must be a power of two (got "
+                    "%u)",
+                    s.lineBytes);
+    if (s.l1iBytes % (static_cast<std::uint64_t>(s.lineBytes) *
+                      s.l1iAssoc) != 0)
+        ipref_raise(ConfigError,
+                    "RunSpec: l1iBytes must be divisible by lineBytes "
+                    "* l1iAssoc");
+    return s;
+}
+
 SystemConfig
 makeConfig(const RunSpec &spec)
 {
     SystemConfig cfg;
     cfg.numCores = spec.cmp ? 4 : 1;
     cfg.workloads = spec.workloads;
+
+    TraceSpec trace = spec.effectiveTrace();
+    if (!trace.preset.empty() && !trace.enabled())
+        cfg.workloads = presetWorkloads(trace.preset);
     cfg.baseSeed = spec.baseSeed;
     cfg.functional = spec.functional;
 
@@ -177,8 +322,7 @@ makeConfig(const RunSpec &spec)
     cfg.profileSites =
         static_cast<unsigned>(g_observability.profileSites);
 
-    cfg.tracePath = spec.tracePath;
-    cfg.traceReadTolerant = spec.traceTolerant;
+    cfg.trace = trace;
     cfg.faultAtInstr = spec.faultAtInstr;
     cfg.faultTransient = spec.faultTransient;
 
@@ -393,8 +537,6 @@ runOne(const RunSpec &spec, std::uint64_t fingerprint,
 void
 commitFailure(std::uint64_t fingerprint, const RunOutcome &outcome)
 {
-    if (g_observability.jsonPath.empty())
-        return;
     std::ostringstream report;
     report << "{\"fingerprint\": " << jsonString(jsonHex(fingerprint))
            << ", \"status\": "
@@ -404,9 +546,7 @@ commitFailure(std::uint64_t fingerprint, const RunOutcome &outcome)
            << ", \"error\": " << jsonString(outcome.error)
            << ", \"attempts\": " << outcome.attempts
            << ", \"wall_ms\": " << outcome.wallMs << "}";
-    std::lock_guard<std::mutex> lock(g_reportMutex);
-    g_jsonReports.push_back(report.str());
-    g_reportsDirty = true;
+    currentSink()->recordReport(report.str());
 }
 
 /** Re-commit a checkpointed run's buffered report, in input order. */
@@ -415,9 +555,7 @@ commitCheckpointed(const ManifestEntry &entry)
 {
     if (entry.jsonReport.empty())
         return;
-    std::lock_guard<std::mutex> lock(g_reportMutex);
-    g_jsonReports.push_back(entry.jsonReport);
-    g_reportsDirty = true;
+    currentSink()->recordReport(entry.jsonReport);
 }
 
 } // namespace

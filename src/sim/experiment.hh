@@ -7,6 +7,8 @@
 #ifndef IPREF_SIM_EXPERIMENT_HH
 #define IPREF_SIM_EXPERIMENT_HH
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -60,9 +62,16 @@ struct RunSpec
     std::uint64_t baseSeed = 1;
 
     /**
-     * Trace replay: every core replays this binary trace file instead
-     * of a synthetic walker (empty = walkers). Tolerant reads salvage
-     * the valid prefix of a damaged file instead of failing the run.
+     * Instruction-stream input: a trace file to replay (with
+     * loop/tolerant/shared knobs) or a workload preset name. When not
+     * set, the workloads vector above applies directly. See
+     * trace/trace_spec.hh.
+     */
+    TraceSpec trace;
+
+    /**
+     * @deprecated Pre-TraceSpec spelling, still honored when `trace`
+     * is unset — see effectiveTrace(). Use `trace` instead.
      */
     std::string tracePath;
     bool traceTolerant = false;
@@ -77,7 +86,188 @@ struct RunSpec
     std::uint64_t faultAtInstr = 0;
     bool faultTransient = false;
     unsigned faultAttempts = 0;
+
+    /** The trace input after merging the deprecated loose fields. */
+    TraceSpec
+    effectiveTrace() const
+    {
+        if (trace.enabled() || !trace.preset.empty())
+            return trace;
+        if (!tracePath.empty())
+            return TraceSpec::file(tracePath, traceTolerant);
+        return trace;
+    }
+
+    class Builder;
+
+    /** Start a fluent, build()-validated spec (paper defaults). */
+    static Builder builder();
 };
+
+/**
+ * Fluent RunSpec constructor. Setters accumulate silently; build()
+ * validates the whole spec at once and throws ConfigError naming the
+ * offending field, so a bad bench loop fails before any simulation
+ * time is spent. A default-built Builder yields the same spec as
+ * `RunSpec{}`.
+ */
+class RunSpec::Builder
+{
+  public:
+    Builder() = default;
+
+    /** Start from an existing spec (sweeps mutating one knob). */
+    explicit Builder(RunSpec base) : spec_(std::move(base)) {}
+
+    Builder &cmp(bool v) { spec_.cmp = v; return *this; }
+
+    Builder &
+    workloads(std::vector<WorkloadKind> w)
+    {
+        spec_.workloads = std::move(w);
+        return *this;
+    }
+
+    Builder &
+    workload(WorkloadKind k)
+    {
+        spec_.workloads = {k};
+        return *this;
+    }
+
+    Builder &
+    scheme(PrefetchScheme s)
+    {
+        spec_.scheme = s;
+        return *this;
+    }
+
+    /** Parse a registry token/alias; throws ConfigError if unknown. */
+    Builder &scheme(const std::string &token);
+
+    /** Apply a whole policy bundle (scheme + knobs) at once. */
+    Builder &policy(const PrefetchPolicy &p);
+
+    Builder &degree(unsigned v) { spec_.degree = v; return *this; }
+
+    Builder &
+    tableEntries(unsigned v)
+    {
+        spec_.tableEntries = v;
+        return *this;
+    }
+
+    Builder &
+    targetWays(unsigned v)
+    {
+        spec_.targetWays = v;
+        return *this;
+    }
+
+    Builder &bypassL2(bool v = true) { spec_.bypassL2 = v; return *this; }
+
+    Builder &
+    eliminate(MissGroup g, bool on = true)
+    {
+        spec_.idealEliminate[static_cast<std::size_t>(g)] = on;
+        return *this;
+    }
+
+    Builder &
+    eliminate(const std::array<
+              bool, static_cast<std::size_t>(MissGroup::NumGroups)> &e)
+    {
+        spec_.idealEliminate = e;
+        return *this;
+    }
+
+    Builder &
+    confidenceFilter(bool v = true)
+    {
+        spec_.useConfidenceFilter = v;
+        return *this;
+    }
+
+    Builder &historySize(int v) { spec_.historySize = v; return *this; }
+    Builder &queueSize(int v) { spec_.queueSize = v; return *this; }
+
+    Builder &
+    memGbPerSec(double v)
+    {
+        spec_.memGbPerSec = v;
+        return *this;
+    }
+
+    Builder &
+    functional(bool v = true)
+    {
+        spec_.functional = v;
+        return *this;
+    }
+
+    Builder &l2Bytes(std::uint64_t v) { spec_.l2Bytes = v; return *this; }
+
+    Builder &
+    l1iBytes(std::uint64_t v)
+    {
+        spec_.l1iBytes = v;
+        return *this;
+    }
+
+    Builder &l1iAssoc(unsigned v) { spec_.l1iAssoc = v; return *this; }
+    Builder &lineBytes(unsigned v) { spec_.lineBytes = v; return *this; }
+
+    Builder &
+    instrScale(double v)
+    {
+        spec_.instrScale = v;
+        return *this;
+    }
+
+    Builder &
+    baseSeed(std::uint64_t v)
+    {
+        spec_.baseSeed = v;
+        return *this;
+    }
+
+    Builder &
+    trace(TraceSpec t)
+    {
+        spec_.trace = std::move(t);
+        return *this;
+    }
+
+    /** Shorthand for trace(TraceSpec::file(path, tolerant)). */
+    Builder &
+    traceFile(std::string path, bool tolerant = false)
+    {
+        spec_.trace = TraceSpec::file(std::move(path), tolerant);
+        return *this;
+    }
+
+    Builder &
+    faultAt(std::uint64_t instr, bool transient = false,
+            unsigned attempts = 0)
+    {
+        spec_.faultAtInstr = instr;
+        spec_.faultTransient = transient;
+        spec_.faultAttempts = attempts;
+        return *this;
+    }
+
+    /** Validate everything and return the spec; throws ConfigError. */
+    RunSpec build() const;
+
+  private:
+    RunSpec spec_;
+};
+
+inline RunSpec::Builder
+RunSpec::builder()
+{
+    return Builder();
+}
 
 /** Expand a RunSpec into a full SystemConfig (paper defaults). */
 SystemConfig makeConfig(const RunSpec &spec);
@@ -206,6 +396,78 @@ const ObservabilityOptions &observability();
  * buffers a new report.
  */
 void flushObservability();
+
+/**
+ * Where a run's observability output goes. The old trio of loose
+ * outputs (--stats-json report array, --trace-events tail file,
+ * campaign failure entries) all funnel through one installed sink,
+ * so drivers can redirect everything at once (in-memory for tests, a
+ * socket, ...). Implementations must be thread-safe: the batch runner
+ * commits from its collector under its own ordering guarantee, but
+ * commitSystemReport() may be called from anywhere.
+ */
+class ReportSink
+{
+  public:
+    virtual ~ReportSink() = default;
+
+    /**
+     * Buffer one JSON report document — a run's full report, or a
+     * small failure object for a spec that never produced results.
+     * Documents arrive in commit (input) order.
+     */
+    virtual void recordReport(const std::string &json) = 0;
+
+    /**
+     * Store the event-trace tail (JSON lines) of the most recent
+     * traced run.
+     */
+    virtual void recordTrace(const std::string &jsonl) = 0;
+
+    /** Write buffered output to its destination; idempotent. */
+    virtual void flush() = 0;
+};
+
+/**
+ * The default sink: reports accumulate and flush() writes them to
+ * @p jsonPath as one JSON array (matching --stats-json); each trace
+ * tail overwrites @p tracePath immediately (matching --trace-events).
+ * Either path may be empty to drop that output.
+ */
+class FileReportSink final : public ReportSink
+{
+  public:
+    FileReportSink(std::string jsonPath, std::string tracePath);
+
+    void recordReport(const std::string &json) override;
+    void recordTrace(const std::string &jsonl) override;
+    void flush() override;
+
+  private:
+    std::mutex mu_;
+    std::string jsonPath_;
+    std::string tracePath_;
+    std::vector<std::string> reports_;
+    bool dirty_ = false;
+};
+
+/**
+ * Install @p sink as the process-wide report destination (replacing
+ * the FileReportSink that setObservability() installs). Passing
+ * nullptr reverts to a FileReportSink over the current
+ * ObservabilityOptions paths.
+ */
+void setReportSink(std::shared_ptr<ReportSink> sink);
+
+/** The currently installed sink (never null). */
+std::shared_ptr<ReportSink> reportSink();
+
+/**
+ * Buffer @p system's JSON report into the installed sink — for
+ * drivers that run a System directly instead of going through
+ * runSpec()/runBatch() (e.g. the quickstart example).
+ */
+void commitSystemReport(const System &system);
 
 /** A labelled workload set for figure loops ("DB".."Web", "Mixed"). */
 struct WorkloadSet

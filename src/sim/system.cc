@@ -4,7 +4,8 @@
 #include <chrono>
 
 #include "prefetch/fetch_profiler.hh"
-#include "trace/trace_file.hh"
+#include "trace/trace_cache.hh"
+#include "trace/trace_v3.hh"
 #include "util/error.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -17,7 +18,7 @@ namespace ipref
 std::string
 SystemConfig::workloadSetName() const
 {
-    if (!tracePath.empty())
+    if (effectiveTrace().enabled())
         return "trace";
     if (workloads.empty())
         return "none";
@@ -81,9 +82,10 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
 {
     if (cfg_.numCores == 0)
         ipref_raise(ConfigError, "numCores must be >= 1");
-    if (cfg_.workloads.empty() && cfg_.tracePath.empty())
+    const TraceSpec trace = cfg_.effectiveTrace();
+    if (cfg_.workloads.empty() && !trace.enabled())
         ipref_raise(ConfigError, "no workloads configured");
-    if (cfg_.tracePath.empty() && cfg_.workloads.size() != 1 &&
+    if (!trace.enabled() && cfg_.workloads.size() != 1 &&
         cfg_.workloads.size() != cfg_.numCores && cfg_.numCores != 1)
         ipref_raise(ConfigError,
                     "workload list must have 1 entry, numCores "
@@ -96,17 +98,27 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
 
     hierarchy_ = std::make_unique<CacheHierarchy>(cfg_.hierarchy);
 
-    // Instruction sources: either a replayed trace file (one reader
-    // per core, looping on exhaustion) or synthetic workload walkers.
-    if (!cfg_.tracePath.empty()) {
+    // Instruction sources: either a replayed trace file (per-core
+    // cursors over one shared decode, or per-core streaming readers)
+    // or synthetic workload walkers.
+    if (trace.enabled()) {
+        TraceReadMode mode = trace.tolerant ? TraceReadMode::Tolerant
+                                            : TraceReadMode::Strict;
         for (unsigned c = 0; c < cfg_.numCores; ++c) {
-            auto reader = std::make_unique<TraceFileReader>(
-                cfg_.tracePath, cfg_.traceReadTolerant
-                                    ? TraceReadMode::Tolerant
-                                    : TraceReadMode::Strict);
-            traceSources_.push_back(
-                std::make_unique<LoopingTraceSource>(*reader));
-            traceReaders_.push_back(std::move(reader));
+            std::unique_ptr<TraceSource> reader;
+            if (trace.shared) {
+                reader = std::make_unique<CachedTraceSource>(
+                    TraceCache::instance().acquire(trace.path, mode));
+            } else {
+                reader = openTraceReader(trace.path, mode);
+            }
+            if (trace.loop) {
+                traceSources_.push_back(
+                    std::make_unique<LoopingTraceSource>(*reader));
+                traceReaders_.push_back(std::move(reader));
+            } else {
+                traceSources_.push_back(std::move(reader));
+            }
         }
     } else if (cfg_.numCores == 1 && cfg_.workloads.size() > 1) {
         // Time-sliced mixed on one core: one walker per application.
@@ -304,7 +316,7 @@ System::runFunctional(std::uint64_t targetInstrs)
             if (!st.trace->next(rec))
                 throw TraceError(
                     "instruction stream ended unexpectedly",
-                    {cfg_.tracePath, 0, st.emitted, 0});
+                    {cfg_.effectiveTrace().path, 0, st.emitted, 0});
             Addr line = hierarchy_->lineOf(rec.pc);
             bool line_access = line != st.curLine;
             if (line_access) {

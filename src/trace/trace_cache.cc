@@ -1,0 +1,181 @@
+#include "trace/trace_cache.hh"
+
+#include <algorithm>
+#include <condition_variable>
+
+#include "trace/trace_v3.hh"
+
+namespace ipref
+{
+
+/**
+ * A cache slot. `ready` flips under the owning cache's mutex once the
+ * decode (done outside the lock) lands; racers wait on `cv`.
+ */
+struct TraceCache::Entry
+{
+    std::string path;
+    FileFingerprint fingerprint;
+    bool ready = false;
+    bool failed = false;
+    std::string failure; //!< TraceError text when failed
+    std::shared_ptr<const DecodedTrace> trace;
+    std::condition_variable cv;
+};
+
+TraceCache &
+TraceCache::instance()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+namespace
+{
+
+std::shared_ptr<const DecodedTrace>
+decodeFile(const std::string &path, const FileFingerprint &fp)
+{
+    auto out = std::make_shared<DecodedTrace>();
+    out->path = path;
+    out->fingerprint = fp;
+
+    // Always decode tolerantly: the one stored entry must serve both
+    // strict and tolerant acquirers, so damage is recorded here and
+    // re-raised per-acquire for strict callers.
+    auto reader = openTraceReader(path, TraceReadMode::Tolerant);
+    out->version = reader->version();
+    out->headerCount = reader->count();
+    out->records.reserve(
+        static_cast<std::size_t>(reader->count()));
+    std::size_t chunk = 8192;
+    std::size_t used = 0;
+    for (;;) {
+        out->records.resize(used + chunk);
+        std::size_t got = reader->nextBatch(
+            std::span<InstrRecord>(out->records.data() + used, chunk));
+        used += got;
+        if (got < chunk)
+            break;
+    }
+    out->records.resize(used);
+    out->corrupt = reader->corrupt();
+    out->corruptionDetail = reader->corruptionDetail();
+    return out;
+}
+
+} // namespace
+
+std::shared_ptr<const DecodedTrace>
+TraceCache::acquire(const std::string &path, TraceReadMode mode)
+{
+    // The fingerprint read is outside the lock (stat can be slow on
+    // network filesystems); a racing rewrite of the file just causes
+    // one extra decode.
+    FileFingerprint fp = fingerprintFile(path);
+
+    std::shared_ptr<Entry> entry;
+    bool owner = false;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        auto it = std::find_if(
+            entries_.begin(), entries_.end(),
+            [&](const auto &e) { return e->path == path; });
+        if (it != entries_.end() && (*it)->fingerprint == fp &&
+            !(*it)->failed) {
+            entry = *it;
+            // Refresh LRU position (MRU at the front). The hit is
+            // counted below once the entry proves ready — whether it
+            // already was or this thread waited for the decode.
+            std::rotate(entries_.begin(), it, it + 1);
+        } else {
+            if (it != entries_.end()) {
+                // Same path, different bytes (or a failed decode
+                // worth retrying): replace the stale entry.
+                if ((*it)->fingerprint == fp)
+                    ; // failed entry — plain retry, not staleness
+                else
+                    ++stats_.staleReloads;
+                entries_.erase(it);
+            }
+            entry = std::make_shared<Entry>();
+            entry->path = path;
+            entry->fingerprint = fp;
+            entries_.insert(entries_.begin(), entry);
+            while (entries_.size() > capacity_) {
+                entries_.pop_back();
+                ++stats_.evictions;
+            }
+            ++stats_.decodes;
+            owner = true;
+        }
+
+        if (!owner) {
+            entry->cv.wait(lk, [&] {
+                return entry->ready || entry->failed;
+            });
+            if (entry->ready)
+                ++stats_.hits; // waited-for decode counts as a hit
+        }
+    }
+
+    if (owner) {
+        std::shared_ptr<const DecodedTrace> decoded;
+        std::string failure;
+        try {
+            decoded = decodeFile(path, fp);
+        } catch (const SimError &e) {
+            failure = e.what();
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (decoded) {
+                entry->trace = decoded;
+                entry->ready = true;
+            } else {
+                entry->failed = true;
+                entry->failure = failure;
+                // Drop the poisoned slot so a later acquire retries.
+                auto it = std::find(entries_.begin(), entries_.end(),
+                                    entry);
+                if (it != entries_.end())
+                    entries_.erase(it);
+            }
+        }
+        entry->cv.notify_all();
+    }
+
+    if (entry->failed)
+        throw TraceError(entry->failure);
+    if (mode == TraceReadMode::Strict && entry->trace->corrupt)
+        throw TraceError(entry->trace->corruptionDetail);
+    return entry->trace;
+}
+
+TraceCache::Stats
+TraceCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    entries_.clear();
+    stats_ = Stats{};
+}
+
+void
+TraceCache::setCapacity(std::size_t entries)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    capacity_ = entries == 0 ? 1 : entries;
+    while (entries_.size() > capacity_) {
+        entries_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+} // namespace ipref

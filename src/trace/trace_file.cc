@@ -4,52 +4,18 @@
 #include <cerrno>
 #include <cstring>
 
+#include "trace/trace_v3.hh"
+#include "trace/wire.hh"
 #include "util/crc32.hh"
 #include "util/logging.hh"
 
 namespace ipref
 {
 
+using namespace tracewire;
+
 namespace
 {
-
-constexpr char traceMagicV1[8] = {'I', 'P', 'R', 'T', 'R', 'C', '0', '1'};
-constexpr char traceMagicV2[8] = {'I', 'P', 'R', 'T', 'R', 'C', '0', '2'};
-constexpr std::size_t headerBytesV1 = 32;
-constexpr std::size_t headerBytesV2 = 44;
-constexpr std::size_t blockCrcBytes = 4;
-
-void
-put64(unsigned char *p, std::uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        p[i] = static_cast<unsigned char>(v >> (8 * i));
-}
-
-std::uint64_t
-get64(const unsigned char *p)
-{
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-    return v;
-}
-
-void
-put32(unsigned char *p, std::uint32_t v)
-{
-    for (int i = 0; i < 4; ++i)
-        p[i] = static_cast<unsigned char>(v >> (8 * i));
-}
-
-std::uint32_t
-get32(const unsigned char *p)
-{
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-    return v;
-}
 
 void
 packRecord(const InstrRecord &rec, unsigned char *buf)
@@ -94,17 +60,26 @@ fileContext(const std::string &path, std::uint64_t byteOffset,
 // --- writer ----------------------------------------------------------
 
 TraceFileWriter::TraceFileWriter(const std::string &path,
-                                 std::uint32_t blockRecords)
+                                 std::uint32_t blockRecords,
+                                 TraceFormat format, bool dataAddresses)
     : path_(path),
-      blockRecords_(blockRecords ? blockRecords
-                                 : traceDefaultBlockRecords)
+      blockRecords_(blockRecords
+                        ? blockRecords
+                        : (format == TraceFormat::V3
+                               ? traceV3DefaultBlockRecords
+                               : traceDefaultBlockRecords)),
+      format_(format),
+      dataAddresses_(dataAddresses)
 {
     file_ = std::fopen(path.c_str(), "wb");
     if (!file_)
         throw TraceError("cannot open trace file for writing",
                          fileContext(path_, 0, 0, errno),
                          isTransientErrno(errno));
-    block_.reserve(blockRecords_ * traceRecordBytes);
+    if (format_ == TraceFormat::V3)
+        pending_.reserve(blockRecords_);
+    else
+        block_.reserve(blockRecords_ * traceRecordBytes);
     writeHeader();
 }
 
@@ -122,8 +97,23 @@ TraceFileWriter::~TraceFileWriter()
 void
 TraceFileWriter::writeHeader()
 {
+    if (format_ == TraceFormat::V3) {
+        unsigned char hdr[traceV3HeaderBytes] = {};
+        std::memcpy(hdr, magicV3, magicBytes);
+        put64(hdr + 8, count_);
+        put32(hdr + 16, blockRecords_);
+        put32(hdr + 20, dataAddresses_ ? traceV3FlagDataAddr : 0u);
+        // bytes [24, 44) reserved; CRC covers everything before itself.
+        put32(hdr + 44, crc32(hdr, 44));
+        if (std::fwrite(hdr, 1, traceV3HeaderBytes, file_) !=
+            traceV3HeaderBytes)
+            throw TraceError("short write on trace header",
+                             fileContext(path_, 0, count_, errno),
+                             isTransientErrno(errno));
+        return;
+    }
     unsigned char hdr[headerBytesV2] = {};
-    std::memcpy(hdr, traceMagicV2, sizeof(traceMagicV2));
+    std::memcpy(hdr, magicV2, magicBytes);
     put64(hdr + 8, count_);
     put32(hdr + 16, blockRecords_);
     put32(hdr + 20, static_cast<std::uint32_t>(traceRecordBytes));
@@ -138,6 +128,26 @@ TraceFileWriter::writeHeader()
 void
 TraceFileWriter::flushBlock()
 {
+    if (format_ == TraceFormat::V3) {
+        if (pending_.empty())
+            return;
+        long at = std::ftell(file_);
+        std::uint64_t off = at > 0 ? static_cast<std::uint64_t>(at) : 0;
+        encodeTraceBlockV3(pending_, dataAddresses_, encoded_);
+        unsigned char frame[8];
+        put32(frame,
+              static_cast<std::uint32_t>(encoded_.size()));
+        put32(frame + 4, crc32(encoded_.data(), encoded_.size()));
+        if (std::fwrite(frame, 1, sizeof(frame), file_) !=
+                sizeof(frame) ||
+            std::fwrite(encoded_.data(), 1, encoded_.size(), file_) !=
+                encoded_.size())
+            throw TraceError("short write on trace block",
+                             fileContext(path_, off, count_, errno),
+                             isTransientErrno(errno));
+        pending_.clear();
+        return;
+    }
     if (block_.empty())
         return;
     long at = std::ftell(file_);
@@ -157,10 +167,16 @@ void
 TraceFileWriter::write(const InstrRecord &rec)
 {
     ipref_assert(!closed_);
+    ++count_;
+    if (format_ == TraceFormat::V3) {
+        pending_.push_back(rec);
+        if (pending_.size() >= blockRecords_)
+            flushBlock();
+        return;
+    }
     unsigned char buf[traceRecordBytes];
     packRecord(rec, buf);
     block_.insert(block_.end(), buf, buf + traceRecordBytes);
-    ++count_;
     if (block_.size() >= blockRecords_ * traceRecordBytes)
         flushBlock();
 }
@@ -220,12 +236,12 @@ TraceFileReader::TraceFileReader(const std::string &path,
                          isTransientErrno(errno));
 
     unsigned char hdr[headerBytesV2];
-    std::size_t got = std::fread(hdr, 1, sizeof(traceMagicV1), file_);
-    if (got != sizeof(traceMagicV1))
+    std::size_t got = std::fread(hdr, 1, magicBytes, file_);
+    if (got != magicBytes)
         throw TraceError("trace file too short for a header",
                          fileContext(path_, got, 0));
 
-    if (std::memcmp(hdr, traceMagicV1, sizeof(traceMagicV1)) == 0) {
+    if (isMagic(hdr, magicV1)) {
         version_ = 1;
         if (std::fread(hdr + 8, 1, headerBytesV1 - 8, file_) !=
             headerBytesV1 - 8)
@@ -233,8 +249,7 @@ TraceFileReader::TraceFileReader(const std::string &path,
                              fileContext(path_, 8, 0));
         count_ = get64(hdr + 8);
         dataStart_ = headerBytesV1;
-    } else if (std::memcmp(hdr, traceMagicV2, sizeof(traceMagicV2)) ==
-               0) {
+    } else if (isMagic(hdr, magicV2)) {
         version_ = 2;
         if (std::fread(hdr + 8, 1, headerBytesV2 - 8, file_) !=
             headerBytesV2 - 8)
@@ -254,6 +269,11 @@ TraceFileReader::TraceFileReader(const std::string &path,
             throw TraceError("invalid trace block size",
                              fileContext(path_, 16, 0));
         dataStart_ = headerBytesV2;
+    } else if (isMagic(hdr, magicV3)) {
+        throw TraceError(
+            "v3 trace file: read it through openTraceReader() / "
+            "MappedTraceReader, not the stdio v1/v2 reader",
+            fileContext(path_, 0, 0));
     } else {
         throw TraceError("bad trace magic", fileContext(path_, 0, 0));
     }

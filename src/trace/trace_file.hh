@@ -1,19 +1,21 @@
 /**
  * @file
- * Binary trace file format: a fixed header followed by fixed-width
- * little-endian records. Simple, seekable, and dependency-free.
+ * Binary trace files: writer and the stdio streaming reader.
  *
- * v2 layout (written by TraceFileWriter):
- *   header (44B): magic "IPRTRC02" (8B), record count (8B),
- *                 records per block (4B), record size (4B),
- *                 reserved (16B), CRC32 of the first 40 bytes (4B)
- *   blocks: up to blockRecords records (29B each, see below),
- *           followed by the CRC32 of the block payload (4B)
- *   record: pc (8B), target (8B), dataAddr (8B), op (1B),
- *           flags (1B: bit0 = taken), src0, src1, dst (3B) = 29 bytes
+ * Three on-disk formats:
  *
- * v1 layout (magic "IPRTRC01", still readable): 32-byte header with
- * no checksums, records back to back.
+ *   v3 (magic "IPRTRC03", default for new files): columnar
+ *   delta+varint blocks — see trace_v3.hh for the layout. Written by
+ *   TraceFileWriter, decoded by the mmap-backed MappedTraceReader.
+ *
+ *   v2 (magic "IPRTRC02"): fixed-width 29-byte records in
+ *   CRC32-protected blocks behind a 44-byte header.
+ *
+ *   v1 (magic "IPRTRC01", still readable): 32-byte header with no
+ *   checksums, records back to back.
+ *
+ * Use openTraceReader() (trace_v3.hh) to read a file of any version
+ * through the common TraceReader interface.
  *
  * Corruption, truncation and undecodable bytes surface as TraceError
  * (with byte offset and record index) — never as a process abort and
@@ -36,25 +38,71 @@
 namespace ipref
 {
 
-/** Size in bytes of one on-disk record. */
+/** Size in bytes of one on-disk v1/v2 record. */
 inline constexpr std::size_t traceRecordBytes = 29;
 
 /** Default records per CRC-protected block (v2). */
 inline constexpr std::uint32_t traceDefaultBlockRecords = 256;
 
-/** Streams InstrRecords into a binary trace file (v2 format). */
+/** Default records per columnar block (v3; larger = better batching). */
+inline constexpr std::uint32_t traceV3DefaultBlockRecords = 4096;
+
+/** On-disk format selector for TraceFileWriter. */
+enum class TraceFormat
+{
+    V2, //!< fixed-width records, per-block CRC32
+    V3, //!< columnar delta+varint blocks, per-block CRC32
+};
+
+/** How a trace reader treats a damaged file. */
+enum class TraceReadMode
+{
+    Strict,  //!< any corruption throws TraceError
+    Tolerant //!< end the stream at the valid prefix; see corrupt()
+};
+
+/**
+ * Common read interface over every trace file version: a TraceSource
+ * plus the header/damage introspection shared by the stdio reader
+ * (v1/v2) and the mmap reader (v3). Obtain one via openTraceReader().
+ */
+class TraceReader : public TraceSource
+{
+  public:
+    /** Total records promised by the header. */
+    virtual std::uint64_t count() const = 0;
+
+    /** On-disk format version (1, 2 or 3). */
+    virtual unsigned version() const = 0;
+
+    /** Tolerant mode: did the stream end early on corruption? */
+    virtual bool corrupt() const = 0;
+
+    /** Tolerant mode: human-readable description of the damage. */
+    virtual const std::string &corruptionDetail() const = 0;
+
+    /** Records successfully delivered since open/reset. */
+    virtual std::uint64_t delivered() const = 0;
+
+    std::uint64_t sizeHint() const override { return count(); }
+};
+
+/** Streams InstrRecords into a binary trace file (v3 by default). */
 class TraceFileWriter
 {
   public:
     /**
      * Open @p path for writing; throws TraceError (with errno
      * context) on failure. @p blockRecords sets the CRC block
-     * granularity — smaller blocks waste more bytes but salvage more
-     * data from a damaged file.
+     * granularity (0 = the format's default) — smaller blocks waste
+     * more bytes but salvage more data from a damaged file.
+     * @p dataAddresses controls the v3 data-address column; dropping
+     * it shrinks files that only feed instruction-side studies.
      */
     explicit TraceFileWriter(const std::string &path,
-                             std::uint32_t blockRecords =
-                                 traceDefaultBlockRecords);
+                             std::uint32_t blockRecords = 0,
+                             TraceFormat format = TraceFormat::V3,
+                             bool dataAddresses = true);
     ~TraceFileWriter();
 
     TraceFileWriter(const TraceFileWriter &) = delete;
@@ -73,6 +121,9 @@ class TraceFileWriter
     /** Records written so far. */
     std::uint64_t count() const { return count_; }
 
+    /** The format being written. */
+    TraceFormat format() const { return format_; }
+
   private:
     void writeHeader();
     void flushBlock();
@@ -81,25 +132,23 @@ class TraceFileWriter
     std::string path_;
     std::uint64_t count_ = 0;
     std::uint32_t blockRecords_;
-    std::vector<unsigned char> block_; //!< pending block payload
+    TraceFormat format_;
+    bool dataAddresses_;
+    std::vector<unsigned char> block_;  //!< pending v2 block payload
+    std::vector<InstrRecord> pending_;  //!< pending v3 block records
+    std::vector<unsigned char> encoded_; //!< v3 encode scratch
     bool closed_ = false;
 };
 
-/** How TraceFileReader treats a damaged file. */
-enum class TraceReadMode
-{
-    Strict,  //!< any corruption throws TraceError
-    Tolerant //!< end the stream at the valid prefix; see corrupt()
-};
-
-/** Reads a binary trace file (v1 or v2) as a TraceSource. */
-class TraceFileReader : public TraceSource
+/** Streaming stdio reader for v1/v2 trace files. */
+class TraceFileReader : public TraceReader
 {
   public:
     /**
-     * Open @p path; throws TraceError on a missing file or a bad /
+     * Open @p path; throws TraceError on a missing file, a bad /
      * corrupt header (a damaged header leaves nothing to salvage,
-     * even in tolerant mode).
+     * even in tolerant mode), or a v3 file (read those through
+     * MappedTraceReader / openTraceReader).
      */
     explicit TraceFileReader(const std::string &path,
                              TraceReadMode mode = TraceReadMode::Strict);
@@ -115,20 +164,14 @@ class TraceFileReader : public TraceSource
     bool next(InstrRecord &out) override;
     void reset() override;
 
-    /** Total records promised by the header. */
-    std::uint64_t count() const { return count_; }
-
-    /** Format version (1 or 2). */
-    unsigned version() const { return version_; }
-
-    /** Tolerant mode: did the stream end early on corruption? */
-    bool corrupt() const { return corrupt_; }
-
-    /** Tolerant mode: human-readable description of the damage. */
-    const std::string &corruptionDetail() const { return detail_; }
-
-    /** Records successfully delivered since open/reset. */
-    std::uint64_t delivered() const { return pos_; }
+    std::uint64_t count() const override { return count_; }
+    unsigned version() const override { return version_; }
+    bool corrupt() const override { return corrupt_; }
+    const std::string &corruptionDetail() const override
+    {
+        return detail_;
+    }
+    std::uint64_t delivered() const override { return pos_; }
 
   private:
     /** Load and verify the next block into block_; false on EOF. */

@@ -1,15 +1,24 @@
 /**
  * @file
- * Abstract instruction stream interface and an in-memory
- * implementation for tests.
+ * Abstract instruction stream interface and small adapters.
+ *
+ * The contract is bulk-first: nextBatch() is the primary decode path
+ * (file readers fill whole spans from their decoded block buffers),
+ * with next() as the one-record convenience. Implementations override
+ * whichever is natural — each has a default written in terms of the
+ * other, so every source supports both, and the two are required to
+ * deliver identical record streams.
  */
 
 #ifndef IPREF_TRACE_TRACE_SOURCE_HH
 #define IPREF_TRACE_TRACE_SOURCE_HH
 
+#include <cstring>
+#include <span>
 #include <vector>
 
 #include "trace/record.hh"
+#include "util/error.hh"
 
 namespace ipref
 {
@@ -27,10 +36,36 @@ class TraceSource
      * Produce the next instruction into @p out.
      * @return false when the stream is exhausted.
      */
-    virtual bool next(InstrRecord &out) = 0;
+    virtual bool
+    next(InstrRecord &out)
+    {
+        return nextBatch({&out, 1}) == 1;
+    }
+
+    /**
+     * Fill @p out from the stream; @return the number of records
+     * produced (< out.size() only at end of stream). The default is
+     * implemented over next(); bulk sources override it to decode
+     * without a per-record virtual call.
+     */
+    virtual std::size_t
+    nextBatch(std::span<InstrRecord> out)
+    {
+        std::size_t n = 0;
+        while (n < out.size() && next(out[n]))
+            ++n;
+        return n;
+    }
 
     /** Restart the stream from the beginning (if supported). */
     virtual void reset() = 0;
+
+    /**
+     * Total records this source will produce, when known up front
+     * (0 = unknown or unbounded). Lets consumers size buffers and
+     * loop bounds without a prior pass.
+     */
+    virtual std::uint64_t sizeHint() const { return 0; }
 };
 
 /** A TraceSource over a fixed vector of records (testing aid). */
@@ -50,7 +85,21 @@ class VectorTraceSource : public TraceSource
         return true;
     }
 
+    std::size_t
+    nextBatch(std::span<InstrRecord> out) override
+    {
+        std::size_t n =
+            std::min(out.size(), records_.size() - pos_);
+        if (n > 0)
+            std::memcpy(out.data(), records_.data() + pos_,
+                        n * sizeof(InstrRecord));
+        pos_ += n;
+        return n;
+    }
+
     void reset() override { pos_ = 0; }
+
+    std::uint64_t sizeHint() const override { return records_.size(); }
 
   private:
     std::vector<InstrRecord> records_;
@@ -60,6 +109,10 @@ class VectorTraceSource : public TraceSource
 /**
  * Wraps another source, looping it forever (reset on exhaustion).
  * Useful for running short test traces under long simulations.
+ *
+ * An empty underlying source is an input error, not an end-of-stream:
+ * silently yielding nothing forever would hang every consumer that
+ * polls for a record, so the wrap surfaces a TraceError instead.
  */
 class LoopingTraceSource : public TraceSource
 {
@@ -72,7 +125,34 @@ class LoopingTraceSource : public TraceSource
         if (inner_.next(out))
             return true;
         inner_.reset();
-        return inner_.next(out);
+        if (!inner_.next(out))
+            throw TraceError(
+                "cannot loop an empty trace source (the underlying "
+                "stream produced no records after reset)");
+        return true;
+    }
+
+    std::size_t
+    nextBatch(std::span<InstrRecord> out) override
+    {
+        std::size_t n = 0;
+        bool freshReset = false;
+        while (n < out.size()) {
+            std::size_t got = inner_.nextBatch(out.subspan(n));
+            if (got == 0 && freshReset)
+                throw TraceError(
+                    "cannot loop an empty trace source (the "
+                    "underlying stream produced no records after "
+                    "reset)");
+            n += got;
+            if (n < out.size()) {
+                inner_.reset();
+                freshReset = true;
+            } else {
+                freshReset = false;
+            }
+        }
+        return n;
     }
 
     void reset() override { inner_.reset(); }

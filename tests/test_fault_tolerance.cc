@@ -62,7 +62,9 @@ writeTrace(const std::string &path,
            const std::vector<InstrRecord> &recs,
            std::uint32_t blockRecords)
 {
-    TraceFileWriter writer(path, blockRecords);
+    // These tests exercise the v2 stdio reader's damage semantics,
+    // so pin the v2 format (the writer default is now v3).
+    TraceFileWriter writer(path, blockRecords, TraceFormat::V2);
     for (const InstrRecord &rec : recs)
         writer.write(rec);
     writer.close();

@@ -153,7 +153,7 @@ TEST(TraceFile, RoundTrip)
     w.srcReg[1] = 8;
     w.dstReg = 9;
     {
-        TraceFileWriter writer(path);
+        TraceFileWriter writer(path, 0, TraceFormat::V2);
         for (int i = 0; i < 100; ++i) {
             w.pc += instrBytes;
             writer.write(w);
@@ -186,7 +186,7 @@ TEST(TraceFile, ResetRewinds)
 {
     std::string path = ::testing::TempDir() + "rewind.trc";
     {
-        TraceFileWriter writer(path);
+        TraceFileWriter writer(path, 0, TraceFormat::V2);
         writer.write(makeInstr(0x42, OpClass::IntAlu));
         writer.close();
     }
@@ -316,7 +316,8 @@ TEST(TraceFile, WritesVersion2)
 {
     std::string path = ::testing::TempDir() + "v2.trc";
     {
-        TraceFileWriter writer(path);
+        // v2 must stay writable for compatibility studies.
+        TraceFileWriter writer(path, 0, TraceFormat::V2);
         // Spill past one CRC block to cover the multi-block path.
         for (unsigned i = 0; i < traceDefaultBlockRecords + 10; ++i)
             writer.write(makeInstr(0x1000 + 4u * i, OpClass::IntAlu));
@@ -340,7 +341,8 @@ TEST(TraceFile, SmallBlocksRoundTrip)
 {
     std::string path = ::testing::TempDir() + "smallblk.trc";
     {
-        TraceFileWriter writer(path, /*blockRecords=*/4);
+        TraceFileWriter writer(path, /*blockRecords=*/4,
+                               TraceFormat::V2);
         for (unsigned i = 0; i < 11; ++i) // partial trailing block
             writer.write(makeInstr(0x1000 + 4u * i, OpClass::IntAlu));
         writer.close();
