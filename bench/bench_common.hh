@@ -32,6 +32,16 @@
  *   --manifest FILE      campaign checkpoint written atomically
  *                        after every run
  *   --resume             skip runs the manifest already completed
+ *   --seed N             base RNG seed for every run (default 1;
+ *                        campaigns with the same seed are
+ *                        bit-identical)
+ *   --metrics-interval-ms N
+ *                        sample live telemetry every N ms (0 = off)
+ *   --metrics-out FILE   JSON-lines telemetry time series (watch it
+ *                        live with tools/ipref_top)
+ *   --metrics-prom FILE  Prometheus text exposition, rewritten
+ *                        atomically on every sample
+ *   --metrics-port N     serve the exposition on localhost:N
  *
  * A failed run no longer kills the whole bench: the failure is
  * reported on stderr, its table cells read zero, and main should
@@ -46,6 +56,7 @@
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "util/metrics.hh"
 #include "util/options.hh"
 #include "util/table.hh"
 
@@ -78,6 +89,17 @@ struct BenchContext
             opts.getString("trace-out", "trace_events.jsonl");
         obs.profileSites = opts.getUint("profile-sites", 0);
         setObservability(obs);
+
+        seed = opts.getUint("seed", 1);
+
+        metrics::MetricsOptions mopts;
+        mopts.intervalMs = opts.getUint("metrics-interval-ms", 0);
+        mopts.jsonlPath = opts.getString("metrics-out");
+        mopts.promPath = opts.getString("metrics-prom");
+        mopts.promPort = static_cast<unsigned>(
+            opts.getUint("metrics-port", 0));
+        if (mopts.intervalMs > 0 && mopts.anySink())
+            metrics::configureMetrics(mopts);
 
         std::string tracePath = opts.getString("trace");
         if (!tracePath.empty())
@@ -129,6 +151,7 @@ struct BenchContext
     {
         RunSpec::Builder b;
         b.instrScale(scale);
+        b.baseSeed(seed);
         if (trace.enabled())
             b.trace(trace);
         return b;
@@ -178,6 +201,7 @@ struct BenchContext
     double scale = 1.0;
     bool csv = false;
     unsigned jobs = 0;     //!< 0 = hardware concurrency
+    std::uint64_t seed = 1; //!< --seed base RNG seed for every run
     BatchOptions batch;            //!< retry / timeout / checkpoint knobs
     TraceSpec trace;               //!< --trace replay input (may be unset)
     std::string schemeArg;         //!< raw --scheme value

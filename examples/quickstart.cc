@@ -9,6 +9,8 @@
  *              [--stats-json FILE] [--stats-interval N]
  *              [--trace-events N] [--trace-out FILE]
  *              [--profile-sites K]
+ *              [--metrics-interval-ms N] [--metrics-out FILE]
+ *              [--metrics-prom FILE] [--metrics-port P]
  */
 
 #include <iostream>
@@ -16,6 +18,7 @@
 
 #include "prefetch/fetch_profiler.hh"
 #include "sim/experiment.hh"
+#include "util/metrics.hh"
 #include "util/options.hh"
 #include "util/trace_event.hh"
 
@@ -33,6 +36,15 @@ try {
     obs.tracePath = opts.getString("trace-out", "trace_events.jsonl");
     obs.profileSites = opts.getUint("profile-sites", 0);
     setObservability(obs);
+
+    metrics::MetricsOptions mopts;
+    mopts.intervalMs = opts.getUint("metrics-interval-ms", 0);
+    mopts.jsonlPath = opts.getString("metrics-out");
+    mopts.promPath = opts.getString("metrics-prom");
+    mopts.promPort =
+        static_cast<unsigned>(opts.getUint("metrics-port", 0));
+    if (mopts.intervalMs > 0 && mopts.anySink())
+        metrics::configureMetrics(mopts);
 
     RunSpec spec =
         RunSpec::builder()

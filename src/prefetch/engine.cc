@@ -1,10 +1,49 @@
 #include "prefetch/engine.hh"
 
 #include "prefetch/fetch_profiler.hh"
+#include "util/metrics.hh"
 #include "util/trace_event.hh"
 
 namespace ipref
 {
+
+namespace
+{
+
+/**
+ * Process-wide prefetch telemetry, summed across every engine (all
+ * cores, all concurrent runs). Per-run attribution stays in the
+ * StatGroup counters; these exist so ipref_top can show aggregate
+ * issue/useful rates while a campaign executes.
+ */
+struct EngineMetricRefs
+{
+    metrics::Counter &issued;
+    metrics::Counter &useful;
+    metrics::Counter &useless;
+    metrics::Gauge &inFlight;
+};
+
+EngineMetricRefs &
+engineMetrics()
+{
+    static EngineMetricRefs refs{
+        metrics::registry().counter("ipref_prefetch_issued_total",
+                                    "prefetch fills started"),
+        metrics::registry().counter(
+            "ipref_prefetch_useful_total",
+            "prefetched lines credited at first use"),
+        metrics::registry().counter(
+            "ipref_prefetch_useless_total",
+            "prefetched lines evicted without use"),
+        metrics::registry().gauge(
+            "ipref_prefetch_in_flight",
+            "issued, not yet used / evicted / replaced"),
+    };
+    return refs;
+}
+
+} // namespace
 
 PrefetchEngine::PrefetchEngine(const PrefetchConfig &cfg, CoreId core,
                                CacheHierarchy &hierarchy)
@@ -25,6 +64,14 @@ PrefetchEngine::PrefetchEngine(const PrefetchConfig &cfg, CoreId core,
             cfg.confidenceThreshold);
 }
 
+PrefetchEngine::~PrefetchEngine()
+{
+    // Lifecycles still unresolved at teardown leave the process-wide
+    // in-flight gauge; without this, destroyed runs would pin it high.
+    engineMetrics().inFlight.sub(
+        static_cast<std::int64_t>(origins_.size()));
+}
+
 void
 PrefetchEngine::credit(Addr lineAddr, Cycle now)
 {
@@ -33,6 +80,7 @@ PrefetchEngine::credit(Addr lineAddr, Cycle now)
         return;
     const LivePrefetch &lp = it->second;
     ++usefulPrefetches;
+    engineMetrics().useful.add(1);
     ++usefulByOrigin[static_cast<std::size_t>(lp.origin)];
     if (now >= lp.issuedAt)
         issueToUse_.add(now - lp.issuedAt);
@@ -45,6 +93,7 @@ PrefetchEngine::credit(Addr lineAddr, Cycle now)
         profiler_->prefetchResolved(lp.trigger, lineAddr, lp.origin,
                                     true);
     origins_.erase(it);
+    engineMetrics().inFlight.sub(1);
 }
 
 void
@@ -146,6 +195,7 @@ PrefetchEngine::issueOne(Cycle now)
       case PrefetchOutcome::Issued:
       case PrefetchOutcome::Merged: {
         ++issued;
+        engineMetrics().issued.add(1);
         ++issuedByOrigin[static_cast<std::size_t>(cand->origin)];
         if (res.fromMemory)
             ++issuedOffChip;
@@ -162,6 +212,7 @@ PrefetchEngine::issueOne(Cycle now)
                         static_cast<std::uint8_t>(it->second.origin),
                         now, it->second.trigger);
             origins_.erase(it);
+            engineMetrics().inFlight.sub(1);
         }
         LivePrefetch lp;
         lp.origin = cand->origin;
@@ -177,6 +228,7 @@ PrefetchEngine::issueOne(Cycle now)
         if (profiler_)
             profiler_->prefetchIssued(lp.trigger, line, lp.origin);
         origins_.emplace(line, lp);
+        engineMetrics().inFlight.add(1);
         break;
       }
       case PrefetchOutcome::DroppedPresent:
@@ -212,6 +264,7 @@ PrefetchEngine::prefetchedLineEvicted(CoreId core, Addr lineAddr,
     auto it = origins_.find(lineAddr);
     if (!used) {
         ++uselessPrefetches;
+        engineMetrics().useless.add(1);
         if (it != origins_.end()) {
             IPREF_TRACE(TraceEventType::PrefetchUseless, core_,
                         lineAddr, it->second.id,
@@ -222,6 +275,7 @@ PrefetchEngine::prefetchedLineEvicted(CoreId core, Addr lineAddr,
                                             lineAddr,
                                             it->second.origin, false);
             origins_.erase(it);
+            engineMetrics().inFlight.sub(1);
         } else {
             IPREF_TRACE(TraceEventType::PrefetchUseless, core_,
                         lineAddr, 0, 0, TraceSink::traceNowHint);
@@ -231,6 +285,7 @@ PrefetchEngine::prefetchedLineEvicted(CoreId core, Addr lineAddr,
         // used but the use event was not observed — close the
         // lifecycle as useful without a latency sample.
         ++uncreditedUseful;
+        engineMetrics().useful.add(1);
         ++usefulByOrigin[static_cast<std::size_t>(it->second.origin)];
         IPREF_TRACE(TraceEventType::PrefetchUseful, core_, lineAddr,
                     it->second.id,
@@ -240,6 +295,7 @@ PrefetchEngine::prefetchedLineEvicted(CoreId core, Addr lineAddr,
             profiler_->prefetchResolved(it->second.trigger, lineAddr,
                                         it->second.origin, true);
         origins_.erase(it);
+        engineMetrics().inFlight.sub(1);
     }
 }
 

@@ -233,6 +233,19 @@ CampaignManifest::find(std::uint64_t fingerprint) const
     return it == entries_.end() ? nullptr : &it->second;
 }
 
+std::vector<const ManifestEntry *>
+CampaignManifest::entriesInOrder() const
+{
+    std::vector<const ManifestEntry *> out;
+    out.reserve(order_.size());
+    for (std::uint64_t fp : order_) {
+        auto it = entries_.find(fp);
+        if (it != entries_.end())
+            out.push_back(&it->second);
+    }
+    return out;
+}
+
 void
 CampaignManifest::record(ManifestEntry entry)
 {

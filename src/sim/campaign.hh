@@ -90,6 +90,9 @@ class CampaignManifest
     /** Entry for @p fingerprint, or nullptr. */
     const ManifestEntry *find(std::uint64_t fingerprint) const;
 
+    /** Every entry in stable record order (monitoring / tooling). */
+    std::vector<const ManifestEntry *> entriesInOrder() const;
+
     /** Insert/replace @p entry; persists when a path is set. */
     void record(ManifestEntry entry);
 

@@ -11,8 +11,10 @@
 #include <thread>
 #include <utility>
 
+#include "trace/trace_cache.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/rng.hh"
 #include "util/thread_pool.hh"
 #include "util/trace_event.hh"
@@ -22,6 +24,66 @@ namespace ipref
 
 namespace
 {
+
+/**
+ * Live campaign telemetry: batch-level progress counters ipref_top
+ * renders as "done / total" plus per-run wall-time distribution.
+ * `completed` counts fresh runs reaching a final status this process;
+ * `restored` counts checkpoint restores (done = completed + restored).
+ */
+struct BatchMetricRefs
+{
+    metrics::Counter &specs;
+    metrics::Counter &started;
+    metrics::Counter &ok;
+    metrics::Counter &failed;
+    metrics::Counter &timedOut;
+    metrics::Counter &interrupted;
+    metrics::Counter &restored;
+    metrics::Counter &completed;
+    metrics::Counter &attempts;
+    metrics::Counter &retries;
+    metrics::Gauge &active;
+    metrics::LatencyHistogram &wallMs;
+};
+
+BatchMetricRefs &
+batchMetrics()
+{
+    static BatchMetricRefs refs{
+        metrics::registry().counter("ipref_batch_specs_total",
+                                    "specs submitted to runBatch"),
+        metrics::registry().counter("ipref_batch_runs_started_total",
+                                    "runs entering their failure "
+                                    "domain"),
+        metrics::registry().counter("ipref_batch_runs_ok_total",
+                                    "runs finishing Ok"),
+        metrics::registry().counter("ipref_batch_runs_failed_total",
+                                    "runs finishing Failed"),
+        metrics::registry().counter("ipref_batch_runs_timeout_total",
+                                    "runs finishing TimedOut"),
+        metrics::registry().counter(
+            "ipref_batch_runs_interrupted_total",
+            "runs finishing Interrupted"),
+        metrics::registry().counter(
+            "ipref_batch_runs_restored_total",
+            "runs restored from a campaign checkpoint"),
+        metrics::registry().counter(
+            "ipref_batch_runs_completed_total",
+            "fresh runs reaching any final status"),
+        metrics::registry().counter("ipref_batch_attempts_total",
+                                    "produceRun attempts (incl. "
+                                    "retries)"),
+        metrics::registry().counter("ipref_batch_retries_total",
+                                    "attempts beyond a run's first"),
+        metrics::registry().gauge("ipref_batch_active_runs",
+                                  "runs currently executing"),
+        metrics::registry().histogram(
+            "ipref_batch_run_wall_ms", metrics::defaultMsBounds(),
+            "per-run wall time incl. retries (ms)"),
+    };
+    return refs;
+}
 
 ObservabilityOptions g_observability;
 
@@ -145,6 +207,17 @@ FileReportSink::flush()
     out << "[\n";
     for (std::size_t i = 0; i < reports_.size(); ++i)
         out << (i ? ",\n" : "") << reports_[i];
+    // Trailing campaign-summary document: process-wide shared-decode
+    // effectiveness for the whole report. Tooling distinguishes it
+    // from per-run reports by the absence of a "results" section.
+    if (!reports_.empty()) {
+        TraceCache::Stats tc = TraceCache::instance().stats();
+        out << ",\n{\"campaign_summary\": {\"trace_cache\": "
+            << "{\"decodes\": " << tc.decodes
+            << ", \"hits\": " << tc.hits
+            << ", \"evictions\": " << tc.evictions
+            << ", \"stale_reloads\": " << tc.staleReloads << "}}}\n";
+    }
     out << "]\n";
     dirty_ = false;
 }
@@ -466,9 +539,16 @@ runOne(const RunSpec &spec, std::uint64_t fingerprint,
     auto t0 = std::chrono::steady_clock::now();
     unsigned maxAttempts = opt.maxAttempts ? opt.maxAttempts : 1;
 
+    BatchMetricRefs &bm = batchMetrics();
+    bm.started.add(1);
+    bm.active.add(1);
+
     for (unsigned local = 1; local <= maxAttempts; ++local) {
         unsigned attempt = priorAttempts + local;
         wr.outcome.attempts = attempt;
+        bm.attempts.add(1);
+        if (local > 1)
+            bm.retries.add(1);
         if (g_batchSigint) {
             wr.outcome.status = RunStatus::Interrupted;
             wr.outcome.errorKind = SimError::Kind::Interrupted;
@@ -526,6 +606,24 @@ runOne(const RunSpec &spec, std::uint64_t fingerprint,
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::steady_clock::now() - t0)
             .count());
+
+    bm.active.sub(1);
+    bm.completed.add(1);
+    bm.wallMs.observe(static_cast<double>(wr.outcome.wallMs));
+    switch (wr.outcome.status) {
+      case RunStatus::Ok:
+        bm.ok.add(1);
+        break;
+      case RunStatus::Failed:
+        bm.failed.add(1);
+        break;
+      case RunStatus::TimedOut:
+        bm.timedOut.add(1);
+        break;
+      case RunStatus::Interrupted:
+        bm.interrupted.add(1);
+        break;
+    }
     return wr;
 }
 
@@ -584,6 +682,8 @@ runBatch(const std::vector<RunSpec> &specs, const BatchOptions &opt)
                        loaded.error().what());
     }
 
+    batchMetrics().specs.add(specs.size());
+
     std::vector<std::uint64_t> fingerprints;
     fingerprints.reserve(specs.size());
     for (const RunSpec &spec : specs)
@@ -632,6 +732,7 @@ runBatch(const std::vector<RunSpec> &specs, const BatchOptions &opt)
                 o.attempts = e.attempts;
                 o.wallMs = 0;
                 o.fromCheckpoint = true;
+                batchMetrics().restored.add(1);
                 commitCheckpointed(e);
                 continue;
             }

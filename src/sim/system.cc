@@ -9,11 +9,64 @@
 #include "util/error.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/stats.hh"
 #include "util/trace_event.hh"
 
 namespace ipref
 {
+
+namespace
+{
+
+/**
+ * Publishing stride for the live instruction counters: coarse enough
+ * that the run loops see one predictable branch per iteration and an
+ * atomic add only every ~16k instructions, fine enough that ipref_top
+ * sampling at tens of milliseconds still tracks real progress.
+ */
+constexpr std::uint64_t kMetricsStride = 16384;
+
+/** Process-wide simulation telemetry, summed across concurrent runs. */
+struct SystemMetricRefs
+{
+    metrics::Counter &instructions;
+    metrics::Counter &warmupInstructions;
+    metrics::Counter &measureInstructions;
+    metrics::Counter &runsStarted;
+    metrics::Counter &runsFinished;
+    metrics::Counter &measureBegins;
+    metrics::Gauge &activeRuns;
+};
+
+SystemMetricRefs &
+systemMetrics()
+{
+    static SystemMetricRefs refs{
+        metrics::registry().counter("ipref_sim_instructions_total",
+                                    "instructions simulated (all "
+                                    "phases, all runs)"),
+        metrics::registry().counter(
+            "ipref_sim_warmup_instructions_total",
+            "instructions simulated during warm-up"),
+        metrics::registry().counter(
+            "ipref_sim_measure_instructions_total",
+            "instructions simulated during measurement"),
+        metrics::registry().counter("ipref_sim_runs_started_total",
+                                    "System::run() invocations"),
+        metrics::registry().counter(
+            "ipref_sim_runs_finished_total",
+            "System::run() exits (including failures)"),
+        metrics::registry().counter(
+            "ipref_sim_measure_begin_total",
+            "warm-up/measurement boundary crossings"),
+        metrics::registry().gauge("ipref_sim_active_runs",
+                                  "System::run() calls in flight"),
+    };
+    return refs;
+}
+
+} // namespace
 
 std::string
 SystemConfig::workloadSetName() const
@@ -240,6 +293,21 @@ System::progress() const
 }
 
 void
+System::publishProgressMetrics(std::uint64_t p)
+{
+    SystemMetricRefs &m = systemMetrics();
+    std::uint64_t delta = p - metricsLastProgress_;
+    if (delta) {
+        m.instructions.add(delta);
+        (metricsInMeasure_ ? m.measureInstructions
+                           : m.warmupInstructions)
+            .add(delta);
+    }
+    metricsLastProgress_ = p;
+    metricsNextAt_ = p + kMetricsStride;
+}
+
+void
 System::maybeSample(std::uint64_t p)
 {
     while (p >= nextSampleAt_) {
@@ -276,6 +344,9 @@ System::runTiming(std::uint64_t targetInstrs)
             checkControl(p, ctl);
         if (sampling)
             maybeSample(p);
+        if constexpr (metrics::kCompiled)
+            if (p >= metricsNextAt_)
+                publishProgressMetrics(p);
         for (auto &core : cores_)
             core->tick(now_);
         ++now_;
@@ -310,6 +381,9 @@ System::runFunctional(std::uint64_t targetInstrs)
             checkControl(p, ctl);
         if (sampling)
             maybeSample(p);
+        if constexpr (metrics::kCompiled)
+            if (p >= metricsNextAt_)
+                publishProgressMetrics(p);
         for (unsigned c = 0; c < cfg_.numCores; ++c) {
             FuncState &st = funcState_[c];
             InstrRecord rec;
@@ -441,6 +515,12 @@ System::activeTraceSink() const
 void
 System::beginMeasurement()
 {
+    // Flush the warm-up remainder to the live phase counters before
+    // anything resets: in timing mode resetAll() clears the per-core
+    // committed counters progress() reads, and the publish delta
+    // must never see progress move backward.
+    publishProgressMetrics(progress());
+
     // Counters restart from zero (collect() then reads measurement
     // deltas directly — no hand-kept start snapshot).
     statsRoot_->resetAll();
@@ -459,6 +539,13 @@ System::beginMeasurement()
     nextSampleAt_ = cfg_.statsIntervalInstrs > 0
                         ? measureInstrBase_ + cfg_.statsIntervalInstrs
                         : 0;
+
+    // Re-sync the publish cursor with the post-reset progress value,
+    // then attribute what follows to the measurement phase.
+    metricsLastProgress_ = progress();
+    metricsNextAt_ = metricsLastProgress_ + kMetricsStride;
+    metricsInMeasure_ = true;
+    systemMetrics().measureBegins.add(1);
 }
 
 SimResults
@@ -467,6 +554,23 @@ System::run()
     // Route IPREF_TRACE sites on this thread into the owned sink (if
     // any) for the duration of the run.
     TraceSinkScope traceScope(traceSink_.get());
+
+    // Live run accounting, exception-safe: a run that throws (fault
+    // injection, cancellation, trace damage) still decrements the
+    // active-runs gauge and flushes its final instruction delta.
+    systemMetrics().runsStarted.add(1);
+    systemMetrics().activeRuns.add(1);
+    metricsInMeasure_ = false;
+    struct MetricsRunScope
+    {
+        System &sys;
+        ~MetricsRunScope()
+        {
+            sys.publishProgressMetrics(sys.progress());
+            systemMetrics().runsFinished.add(1);
+            systemMetrics().activeRuns.sub(1);
+        }
+    } metricsScope{*this};
 
     using clock = std::chrono::steady_clock;
     auto seconds = [](clock::time_point a, clock::time_point b) {

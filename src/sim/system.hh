@@ -141,6 +141,14 @@ class System
     /** Total committed (timing) or emitted (functional). */
     std::uint64_t progress() const;
 
+    /**
+     * Publish the instruction delta since the last publish into the
+     * process-wide telemetry counters (phase-attributed). Called on a
+     * coarse stride from the run loops and at phase boundaries so the
+     * counters track live progress without per-instruction atomics.
+     */
+    void publishProgressMetrics(std::uint64_t p);
+
     SystemConfig cfg_;
     std::unique_ptr<CacheHierarchy> hierarchy_;
     std::vector<std::unique_ptr<Workload>> workloads_;
@@ -184,6 +192,11 @@ class System
     std::uint64_t nextSampleAt_ = 0;
 
     PhaseProfile profile_;
+
+    /** Live-telemetry publishing state (see publishProgressMetrics). */
+    std::uint64_t metricsLastProgress_ = 0;
+    std::uint64_t metricsNextAt_ = 0;
+    bool metricsInMeasure_ = false;
 };
 
 } // namespace ipref

@@ -4,6 +4,7 @@
 #include <condition_variable>
 
 #include "trace/trace_v3.hh"
+#include "util/metrics.hh"
 
 namespace ipref
 {
@@ -21,7 +22,45 @@ struct TraceCache::Entry
     std::string failure; //!< TraceError text when failed
     std::shared_ptr<const DecodedTrace> trace;
     std::condition_variable cv;
+
+    /** Decoded payload size counted in the resident-bytes gauge; 0
+     *  until the decode lands (or when it landed after eviction). */
+    std::size_t bytes = 0;
 };
+
+namespace
+{
+
+/** Live mirrors of TraceCache::Stats plus decoded-bytes residency. */
+struct CacheMetricRefs
+{
+    metrics::Counter &hits;
+    metrics::Counter &decodes;
+    metrics::Counter &evictions;
+    metrics::Counter &staleReloads;
+    metrics::Gauge &residentBytes;
+};
+
+CacheMetricRefs &
+cacheMetrics()
+{
+    static CacheMetricRefs refs{
+        metrics::registry().counter("ipref_trace_cache_hits_total",
+                                    "acquires served from cache"),
+        metrics::registry().counter("ipref_trace_cache_decodes_total",
+                                    "trace files actually decoded"),
+        metrics::registry().counter("ipref_trace_cache_evictions_total",
+                                    "entries dropped by LRU"),
+        metrics::registry().counter(
+            "ipref_trace_cache_stale_reloads_total",
+            "re-decodes forced by a changed file fingerprint"),
+        metrics::registry().gauge("ipref_trace_cache_resident_bytes",
+                                  "decoded records resident in cache"),
+    };
+    return refs;
+}
+
+} // namespace
 
 TraceCache &
 TraceCache::instance()
@@ -92,10 +131,14 @@ TraceCache::acquire(const std::string &path, TraceReadMode mode)
             if (it != entries_.end()) {
                 // Same path, different bytes (or a failed decode
                 // worth retrying): replace the stale entry.
-                if ((*it)->fingerprint == fp)
+                if ((*it)->fingerprint == fp) {
                     ; // failed entry — plain retry, not staleness
-                else
+                } else {
                     ++stats_.staleReloads;
+                    cacheMetrics().staleReloads.add(1);
+                }
+                cacheMetrics().residentBytes.sub(
+                    static_cast<std::int64_t>((*it)->bytes));
                 entries_.erase(it);
             }
             entry = std::make_shared<Entry>();
@@ -103,10 +146,14 @@ TraceCache::acquire(const std::string &path, TraceReadMode mode)
             entry->fingerprint = fp;
             entries_.insert(entries_.begin(), entry);
             while (entries_.size() > capacity_) {
+                cacheMetrics().residentBytes.sub(
+                    static_cast<std::int64_t>(entries_.back()->bytes));
                 entries_.pop_back();
                 ++stats_.evictions;
+                cacheMetrics().evictions.add(1);
             }
             ++stats_.decodes;
+            cacheMetrics().decodes.add(1);
             owner = true;
         }
 
@@ -114,8 +161,10 @@ TraceCache::acquire(const std::string &path, TraceReadMode mode)
             entry->cv.wait(lk, [&] {
                 return entry->ready || entry->failed;
             });
-            if (entry->ready)
+            if (entry->ready) {
                 ++stats_.hits; // waited-for decode counts as a hit
+                cacheMetrics().hits.add(1);
+            }
         }
     }
 
@@ -132,6 +181,15 @@ TraceCache::acquire(const std::string &path, TraceReadMode mode)
             if (decoded) {
                 entry->trace = decoded;
                 entry->ready = true;
+                // Count the payload only while the entry is actually
+                // retained — it may have been evicted mid-decode.
+                if (std::find(entries_.begin(), entries_.end(),
+                              entry) != entries_.end()) {
+                    entry->bytes = decoded->records.size() *
+                                   sizeof(InstrRecord);
+                    cacheMetrics().residentBytes.add(
+                        static_cast<std::int64_t>(entry->bytes));
+                }
             } else {
                 entry->failed = true;
                 entry->failure = failure;
@@ -163,6 +221,9 @@ void
 TraceCache::clear()
 {
     std::lock_guard<std::mutex> lk(mu_);
+    for (const auto &e : entries_)
+        cacheMetrics().residentBytes.sub(
+            static_cast<std::int64_t>(e->bytes));
     entries_.clear();
     stats_ = Stats{};
 }
@@ -173,8 +234,11 @@ TraceCache::setCapacity(std::size_t entries)
     std::lock_guard<std::mutex> lk(mu_);
     capacity_ = entries == 0 ? 1 : entries;
     while (entries_.size() > capacity_) {
+        cacheMetrics().residentBytes.sub(
+            static_cast<std::int64_t>(entries_.back()->bytes));
         entries_.pop_back();
         ++stats_.evictions;
+        cacheMetrics().evictions.add(1);
     }
 }
 

@@ -14,6 +14,7 @@
 #ifndef IPREF_UTIL_THREAD_POOL_HH
 #define IPREF_UTIL_THREAD_POOL_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -24,8 +25,37 @@
 #include <utility>
 #include <vector>
 
+#include "util/metrics.hh"
+
 namespace ipref
 {
+
+/**
+ * Process-wide pool telemetry, aggregated across every ThreadPool in
+ * the process (ipref_top reads these as "the worker fleet"): queued
+ * tasks, tasks currently executing, and per-task wall time.
+ */
+struct PoolMetricRefs
+{
+    metrics::Gauge &queueDepth;
+    metrics::Gauge &busyWorkers;
+    metrics::LatencyHistogram &taskMs;
+};
+
+inline PoolMetricRefs &
+poolMetrics()
+{
+    static PoolMetricRefs refs{
+        metrics::registry().gauge("ipref_pool_queue_depth",
+                                  "tasks waiting in pool queues"),
+        metrics::registry().gauge("ipref_pool_busy_workers",
+                                  "pool tasks currently executing"),
+        metrics::registry().histogram(
+            "ipref_pool_task_ms", metrics::defaultMsBounds(),
+            "pool task execution wall time (ms)"),
+    };
+    return refs;
+}
 
 /** Fixed-size worker pool; join-on-destruction. */
 class ThreadPool
@@ -81,9 +111,10 @@ class ThreadPool
             std::forward<F>(fn));
         std::future<R> future = task->get_future();
         if (workers_.empty()) {
-            (*task)();
+            runInstrumented([&] { (*task)(); });
             return future;
         }
+        poolMetrics().queueDepth.add(1);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             queue_.emplace_back([task] { (*task)(); });
@@ -93,6 +124,25 @@ class ThreadPool
     }
 
   private:
+    /** Run @p fn inside the busy-workers gauge + task-latency timer. */
+    template <typename Fn>
+    static void
+    runInstrumented(Fn &&fn)
+    {
+        if constexpr (!metrics::kCompiled) {
+            fn();
+        } else {
+            PoolMetricRefs &m = poolMetrics();
+            m.busyWorkers.add(1);
+            auto t0 = std::chrono::steady_clock::now();
+            fn();
+            std::chrono::duration<double, std::milli> elapsed =
+                std::chrono::steady_clock::now() - t0;
+            m.taskMs.observe(elapsed.count());
+            m.busyWorkers.sub(1);
+        }
+    }
+
     void
     workerLoop()
     {
@@ -108,7 +158,8 @@ class ThreadPool
                 task = std::move(queue_.front());
                 queue_.pop_front();
             }
-            task();
+            poolMetrics().queueDepth.sub(1);
+            runInstrumented([&] { task(); });
         }
     }
 

@@ -191,15 +191,26 @@ main(int argc, char **argv)
             ipref_fatal("stats report '%s': %s", path.c_str(),
                         e.what());
         }
-        // --stats-json files are arrays of per-run reports; --run
-        // selects one (default: the last, matching the trace tail).
+        // --stats-json files are arrays of per-run reports plus an
+        // optional trailing campaign-summary document (no "results"
+        // section); --run selects one report (default: the last
+        // per-run report, matching the trace tail).
         const JsonValue *report = &doc;
         if (doc.kind == JsonValue::Array) {
             if (doc.items.empty())
                 ipref_fatal("stats report '%s' is empty",
                             path.c_str());
-            std::size_t idx = opts.getUint(
-                "run", doc.items.size() - 1);
+            std::size_t lastRun = doc.items.size();
+            for (std::size_t i = doc.items.size(); i-- > 0;) {
+                if (doc.items[i].has("results")) {
+                    lastRun = i;
+                    break;
+                }
+            }
+            if (lastRun == doc.items.size())
+                ipref_fatal("stats report '%s' has no per-run "
+                            "reports", path.c_str());
+            std::size_t idx = opts.getUint("run", lastRun);
             if (idx >= doc.items.size())
                 ipref_fatal("--run %zu out of range (%zu reports)",
                             idx, doc.items.size());
