@@ -19,8 +19,13 @@ Exit status: 0 when every tracked metric is within tolerance,
 1 on a regression or a metric missing from the fresh report,
 2 on bad input.
 
+With --update, the comparison still prints but the baseline file is
+then rewritten in place with the fresh report (machine upgrades,
+intentional perf changes), and the exit status is 0 regardless of
+regressions — refreshing a stale baseline is the point.
+
 Usage:
-    bench_compare.py BASELINE FRESH [--tolerance 0.5]
+    bench_compare.py BASELINE FRESH [--tolerance 0.5] [--update]
 
 Stdlib only — no third-party dependencies.
 """
@@ -88,6 +93,10 @@ def main():
                     help="allowed fractional slowdown before a "
                          "regression is flagged (default 0.5, i.e. "
                          "fresh must reach 50%% of baseline)")
+    ap.add_argument("--update", action="store_true",
+                    help="after comparing, rewrite BASELINE with the "
+                         "fresh report and exit 0 (intentional "
+                         "baseline refresh)")
     args = ap.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         print("bench_compare: --tolerance must be in [0, 1)",
@@ -141,6 +150,21 @@ def main():
         else:
             print(f"  {sid}  {metric:<22} base {b:>10.3f}  "
                   f"fresh {f:>10.3f}  ({ratio:6.1%})  {status}")
+
+    if args.update:
+        try:
+            with open(args.baseline, "w") as f:
+                json.dump(fresh_doc, f, indent=2)
+                f.write("\n")
+        except OSError as e:
+            print(f"bench_compare: cannot rewrite {args.baseline}: "
+                  f"{e}", file=sys.stderr)
+            sys.exit(2)
+        print(f"bench_compare: baseline {args.baseline} updated from "
+              f"{args.fresh}"
+              + (f" (overrode {failures} regression(s))"
+                 if failures else ""))
+        return 0
 
     if failures:
         print(f"bench_compare: {failures} metric(s) below the "

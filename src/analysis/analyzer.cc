@@ -116,6 +116,14 @@ analyze(const std::vector<ParsedEvent> &events)
             continue;
         }
 
+        if (ev.type == "fetch_stall") {
+            if (ev.detail < kNumCycleBuckets) {
+                a.stallCycles[ev.detail] += ev.arg;
+                ++a.stallEpisodes[ev.detail];
+            }
+            continue;
+        }
+
         if (ev.type == "prefetch_issue") {
             ++a.total.issued;
             if (ev.detail < numOrigins)
@@ -292,6 +300,13 @@ writeChromeTrace(const std::vector<ParsedEvent> &events,
     };
     std::unordered_map<std::uint64_t, LiveIssue> live;
 
+    /** Cumulative stall cycles per core, rendered as one counter
+     *  ("C") track per core so Perfetto draws a stacked area chart
+     *  of the fetch-stall breakdown over time. */
+    std::unordered_map<std::uint16_t,
+                       std::array<std::uint64_t, kNumCycleBuckets>>
+        stallCum;
+
     os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
     bool first = true;
     auto emit = [&](const std::string &obj) {
@@ -374,6 +389,25 @@ writeChromeTrace(const std::vector<ParsedEvent> &events,
               << ",\"tid\":" << numOrigins << ",\"args\":{\"line\":\""
               << jsonHex(ev.addr) << "\"}}";
             emit(m.str());
+        } else if (ev.type == "fetch_stall" &&
+                   ev.detail < kNumCycleBuckets) {
+            std::uint16_t core = ev.hasCore ? ev.core : 0;
+            auto &cum = stallCum[core];
+            cum[ev.detail] += ev.arg;
+            std::ostringstream c;
+            c << "{\"name\":\"fetch stall cycles\",\"ph\":\"C\","
+                 "\"ts\":"
+              << ev.cycle << ",\"pid\":" << core << ",\"args\":{";
+            bool firstArg = true;
+            for (std::size_t b = 1; b < kNumCycleBuckets; ++b) {
+                c << (firstArg ? "" : ",")
+                  << jsonString(cycleBucketName(
+                         static_cast<CycleBucket>(b)))
+                  << ":" << cum[b];
+                firstArg = false;
+            }
+            c << "}}";
+            emit(c.str());
         }
     }
 
@@ -442,6 +476,37 @@ crossCheck(const TraceAnalysis &analysis, const JsonValue &report)
                   analysis.byOrigin[i].useful,
                   static_cast<std::uint64_t>(
                       o.numberOr("useful", 0)));
+        }
+    }
+
+    // CPI-stack cross-check: the traced fetch_stall episodes re-sum
+    // exactly to the simulator's per-bucket ledger, and the derived
+    // busy figure (cycles * cores minus every traced stall) matches
+    // the reported busy bucket. Skipped for functional-mode reports
+    // ("timing": false), which carry no cycle accounting.
+    if (report.has("cpi_stack")) {
+        const JsonValue &cs = report.at("cpi_stack");
+        bool timing = cs.has("timing") && cs.at("timing").boolean;
+        if (timing && cs.has("buckets")) {
+            const JsonValue &buckets = cs.at("buckets");
+            std::uint64_t chipCycles =
+                static_cast<std::uint64_t>(
+                    cs.numberOr("cycles", 0)) *
+                static_cast<std::uint64_t>(cs.numberOr("cores", 1));
+            std::uint64_t stallSum = 0;
+            for (std::size_t b = 1; b < kNumCycleBuckets; ++b) {
+                std::string name =
+                    cycleBucketName(static_cast<CycleBucket>(b));
+                check("cpi_stack." + name, analysis.stallCycles[b],
+                      static_cast<std::uint64_t>(
+                          buckets.numberOr(name, 0)));
+                stallSum += analysis.stallCycles[b];
+            }
+            std::uint64_t derivedBusy =
+                chipCycles >= stallSum ? chipCycles - stallSum : 0;
+            check("cpi_stack.busy (derived)", derivedBusy,
+                  static_cast<std::uint64_t>(
+                      buckets.numberOr("busy", 0)));
         }
     }
     return cc;

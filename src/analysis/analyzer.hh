@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "prefetch/prefetcher.hh"
+#include "sim/cycle_ledger.hh"
 #include "trace/record.hh"
 #include "util/json.hh"
 #include "util/types.hh"
@@ -118,6 +119,26 @@ struct TraceAnalysis
                static_cast<std::size_t>(PrefetchOrigin::NumOrigins)>
         byOrigin{};
     LifecycleTally total;
+
+    /**
+     * CPI-stack reconstruction from fetch_stall episode events:
+     * cycles and episode counts per CycleBucket. Busy cycles are
+     * never traced (only stall episodes are), so index 0 stays zero
+     * here — busy is derived as cycles * cores minus all stalls when
+     * cross-checking against a simulator report.
+     */
+    std::array<std::uint64_t, kNumCycleBuckets> stallCycles{};
+    std::array<std::uint64_t, kNumCycleBuckets> stallEpisodes{};
+
+    /** Sum of every traced stall bucket (everything but busy). */
+    std::uint64_t
+    stallCycleTotal() const
+    {
+        std::uint64_t sum = 0;
+        for (std::uint64_t v : stallCycles)
+            sum += v;
+        return sum;
+    }
 
     /** Issue-to-useful latencies of resolved prefetches (cycles). */
     std::vector<std::uint64_t> issueToUseCycles; //!< sorted ascending

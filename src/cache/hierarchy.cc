@@ -235,6 +235,7 @@ CacheHierarchy::fetchAccess(CoreId core, Addr pc,
             ++l1iMisses;
             ++l1iMissByTransition[static_cast<std::size_t>(transition)];
         }
+        res.fromMemory = fill->fromMemory;
         res.ready = std::max(fill->ready, now + params_.l1Latency);
         return res;
     }
@@ -273,7 +274,10 @@ CacheHierarchy::fetchAccess(CoreId core, Addr pc,
                 traceDetailPack(traceLevelL2,
                                     static_cast<std::uint8_t>(transition)), now, pc);
     Cycle ready = memory_.read(now, false);
-    startFill(line, ready, false, true, true, false, core);
+    FillPtr fill = startFill(line, ready, false, true, true, false,
+                             core);
+    fill->fromMemory = true;
+    res.fromMemory = true;
     res.ready = ready;
     return res;
 }
@@ -328,7 +332,9 @@ CacheHierarchy::dataAccess(CoreId core, Addr addr, bool isWrite,
     res.l2Miss = true;
     ++l2dMisses;
     Cycle ready = memory_.read(now, false);
-    startFill(line, ready, false, false, true, isWrite, core);
+    FillPtr fill = startFill(line, ready, false, false, true, isWrite,
+                             core);
+    fill->fromMemory = true;
     res.ready = ready;
     return res;
 }
@@ -372,7 +378,9 @@ CacheHierarchy::prefetchRequest(CoreId core, Addr addr, Cycle now)
     // Selective install: in bypass mode instruction prefetches do not
     // enter the L2 until proven useful.
     bool install_l2 = !params_.prefetchBypassL2;
-    startFill(line, ready, true, true, install_l2, false, core);
+    FillPtr fill = startFill(line, ready, true, true, install_l2,
+                             false, core);
+    fill->fromMemory = true;
     res.outcome = PrefetchOutcome::Issued;
     res.ready = ready;
     res.fromMemory = true;

@@ -90,6 +90,8 @@ struct FetchResult
     bool l1Miss = false;      //!< true demand L1I miss
     bool l2Miss = false;      //!< ... that also missed in the L2
     bool eliminated = false;  //!< removed by the ideal filter
+    bool fromMemory = false;  //!< satisfied off chip (directly or via
+                              //!< the in-flight fill merged with)
 };
 
 /** Result of a demand data access. */
@@ -209,6 +211,7 @@ class CacheHierarchy
         bool isInstr = false;
         bool installL2 = false;
         bool dirty = false;
+        bool fromMemory = false; //!< the data is coming from off chip
         CoreId srcCore = 0;
         /** cores whose L1I (instr) or L1D (data) receive the line */
         std::vector<CoreId> targets;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/trace_event.hh"
 
 namespace ipref
 {
@@ -27,6 +28,57 @@ OoOCore::done() const
 {
     return exhausted_ && !havePending_ && fetchBuf_.empty() &&
            rob_.empty();
+}
+
+void
+OoOCore::chargeCycle(CycleBucket b, Cycle now, Addr line)
+{
+    ledger_.charge(b);
+    if (epOpen_ && epBucket_ == b) {
+        ++epCycles_;
+        return;
+    }
+    closeEpisode(now);
+    epOpen_ = true;
+    epBucket_ = b;
+    epCycles_ = 1;
+    epLine_ = line;
+    if (b == CycleBucket::PrefetchPartial)
+        epPartialOrigin_ = stallPartialOrigin_;
+}
+
+void
+OoOCore::closeEpisode(Cycle now)
+{
+    if (epOpen_ && epCycles_ > 0 &&
+        epBucket_ != CycleBucket::Busy) {
+        // Busy runs are derived (cycles minus stalls) rather than
+        // traced; every stall bucket has a non-zero detail id.
+        IPREF_TRACE(TraceEventType::FetchStall,
+                    static_cast<std::uint16_t>(id_), epLine_,
+                    epCycles_,
+                    static_cast<std::uint8_t>(epBucket_), now);
+        if (epBucket_ == CycleBucket::PrefetchPartial)
+            engine_.notePartialStall(epLine_, epCycles_,
+                                     epPartialOrigin_);
+    }
+    epOpen_ = false;
+    epCycles_ = 0;
+}
+
+void
+OoOCore::onMeasureBegin()
+{
+    // The ledger counters were just reset with the stats tree and the
+    // trace sink cleared: restart the open episode's cycle count so
+    // its eventual trace event covers only post-boundary cycles.
+    epCycles_ = 0;
+}
+
+void
+OoOCore::finishAccounting(Cycle now)
+{
+    closeEpisode(now);
 }
 
 void
@@ -102,6 +154,8 @@ OoOCore::issueStage(Cycle now)
             fetchResumeAt_ =
                 entry.execDone + params_.redirectPenalty;
             blockedOnSeq_.reset();
+            stallIsRedirect_ = true;
+            stallLine_ = curFetchLine_;
         }
         ++issued;
     }
@@ -133,14 +187,19 @@ OoOCore::fetchStage(Cycle now)
 
     if (blockedOnSeq_) {
         ++branchStallCycles;
+        chargeCycle(CycleBucket::BranchRedirect, now, curFetchLine_);
         return;
     }
     if (now < fetchResumeAt_) {
         ++fetchStallCycles;
+        chargeCycle(stallBucket(now), now, stallLine_);
         return;
     }
 
     unsigned fetched = 0;
+    bool stalled = false;
+    const bool bufferFull =
+        fetchBuf_.size() >= params_.fetchBufferEntries;
     while (fetched < params_.fetchWidth &&
            fetchBuf_.size() < params_.fetchBufferEntries) {
         if (!havePending_) {
@@ -175,8 +234,26 @@ OoOCore::fetchStage(Cycle now)
             Cycle ready = res.ready + tlb_pen;
             if (ready > now + hierarchy_.params().l1Latency) {
                 // Line not deliverable this cycle: stall fetch until
-                // the fill (or translation) completes.
+                // the fill (or translation) completes. Record the
+                // cause so the waited cycles charge to the level
+                // satisfying the miss (and the translation remainder
+                // to the I-TLB bucket).
                 fetchResumeAt_ = ready;
+                stallIsRedirect_ = false;
+                stallFillReady_ = res.ready;
+                stallLine_ = line;
+                if (res.latePrefetchHit) {
+                    stallFillBucket_ = CycleBucket::PrefetchPartial;
+                    stallPartialOrigin_ =
+                        engine_.lastCreditedOrigin(line);
+                } else if (res.l2Miss || res.fromMemory) {
+                    stallFillBucket_ = CycleBucket::FetchMem;
+                } else if (res.l1Miss) {
+                    stallFillBucket_ = CycleBucket::FetchL2;
+                } else {
+                    stallFillBucket_ = CycleBucket::FetchL1I;
+                }
+                stalled = true;
                 break;
             }
         }
@@ -228,6 +305,19 @@ OoOCore::fetchStage(Cycle now)
                 break; // a taken CTI ends the fetch group
         }
     }
+
+    // Attribute this tick to exactly one CPI bucket. Order matters:
+    // any delivered instruction makes the cycle busy; a fresh stall
+    // charges like the waited cycles will; a full fetch buffer is
+    // back-end backpressure; otherwise the stream has drained.
+    if (fetched > 0)
+        chargeCycle(CycleBucket::Busy, now, curFetchLine_);
+    else if (stalled)
+        chargeCycle(stallBucket(now), now, stallLine_);
+    else if (bufferFull)
+        chargeCycle(CycleBucket::Backpressure, now, curFetchLine_);
+    else
+        chargeCycle(CycleBucket::Drain, now, curFetchLine_);
 }
 
 void
@@ -240,6 +330,7 @@ OoOCore::registerStats(StatGroup &group)
     group.addCounter("rob_full_cycles", &robFullCycles);
     group.addCounter("loads", &loadsIssued);
     group.addCounter("stores", &storesIssued);
+    ledger_.registerStats(group);
     bp_.registerStats(group);
 }
 

@@ -24,6 +24,7 @@
 #include "cpu/branch_predictor.hh"
 #include "cpu/tlb.hh"
 #include "prefetch/engine.hh"
+#include "sim/cycle_ledger.hh"
 #include "trace/trace_source.hh"
 #include "util/stats.hh"
 
@@ -64,6 +65,23 @@ class OoOCore
 
     /** Trace exhausted and pipeline drained. */
     bool done() const;
+
+    /**
+     * Called at the warm-up/measure boundary, after the stats tree
+     * (including the cycle ledger) was reset and the trace sink
+     * cleared: forget the open stall episode's pre-boundary cycles so
+     * the episode trace events re-sum exactly to the reset ledger.
+     */
+    void onMeasureBegin();
+
+    /**
+     * Flush the trailing stall episode at end of run so the
+     * fetch_stall trace events account for every charged cycle.
+     */
+    void finishAccounting(Cycle now);
+
+    /** Per-cycle CPI-stack attribution (one bucket per tick). */
+    const CycleLedger &ledger() const { return ledger_; }
 
     /** Swap the instruction stream (time-sliced mixed workloads).
      *  The pipeline naturally drains the old stream's instructions. */
@@ -109,6 +127,24 @@ class OoOCore
 
     Cycle execute(const InstrRecord &rec, Cycle now);
 
+    /** Charge this tick to @p b; extends or opens a stall episode. */
+    void chargeCycle(CycleBucket b, Cycle now, Addr line);
+
+    /** Close the open episode (emits its fetch_stall trace event). */
+    void closeEpisode(Cycle now);
+
+    /** Bucket for one cycle of the recorded fetch stall. */
+    CycleBucket
+    stallBucket(Cycle now) const
+    {
+        if (stallIsRedirect_)
+            return CycleBucket::BranchRedirect;
+        // The fill portion of the wait charges to the satisfying
+        // level; the remainder is translation penalty.
+        return now < stallFillReady_ ? stallFillBucket_
+                                     : CycleBucket::Itlb;
+    }
+
     CoreId id_;
     CoreParams params_;
     CacheHierarchy &hierarchy_;
@@ -136,6 +172,27 @@ class OoOCore
     bool demandFetchedThisCycle_ = false;
 
     std::uint64_t nextSeq_ = 0;
+
+    // --- cycle accounting --------------------------------------------
+    CycleLedger ledger_;
+    /** Cause of the stall behind fetchResumeAt_, recorded when the
+     *  stall begins (the FetchResult is out of scope by the time the
+     *  waited cycles are charged). */
+    CycleBucket stallFillBucket_ = CycleBucket::FetchL1I;
+    Cycle stallFillReady_ = 0;  //!< fill done; later cycles are I-TLB
+    bool stallIsRedirect_ = false;
+    Addr stallLine_ = invalidAddr;
+    /** Lifecycle origin captured at stall start for a late prefetch
+     *  (the engine erases the record when it credits the line). */
+    PrefetchOrigin stallPartialOrigin_ = PrefetchOrigin::NumOrigins;
+
+    /** Open run of same-bucket cycles, emitted as one fetch_stall
+     *  trace event (arg = cycles, detail = bucket) when it closes. */
+    bool epOpen_ = false;
+    CycleBucket epBucket_ = CycleBucket::Busy;
+    std::uint64_t epCycles_ = 0;
+    Addr epLine_ = invalidAddr;
+    PrefetchOrigin epPartialOrigin_ = PrefetchOrigin::NumOrigins;
 };
 
 } // namespace ipref

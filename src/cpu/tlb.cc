@@ -61,9 +61,12 @@ Tlb::translate(Addr addr)
     if (l1_.access(addr))
         return 0;
     ++l1Misses;
-    if (l2_.access(addr))
+    if (l2_.access(addr)) {
+        penaltyCycles += params_.l2HitPenalty;
         return params_.l2HitPenalty;
+    }
     ++walks;
+    penaltyCycles += params_.walkPenalty;
     return params_.walkPenalty;
 }
 
@@ -73,6 +76,8 @@ Tlb::registerStats(StatGroup &group)
     group.addCounter("accesses", &accesses);
     group.addCounter("l1_misses", &l1Misses);
     group.addCounter("walks", &walks);
+    group.addCounter("penalty_cycles", &penaltyCycles,
+                     "translation penalty cycles handed to fetch");
 }
 
 } // namespace ipref

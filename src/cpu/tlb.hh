@@ -69,6 +69,7 @@ class Tlb
     Counter accesses;
     Counter l1Misses;
     Counter walks;
+    Counter penaltyCycles; //!< total penalty cycles returned
 
     void registerStats(StatGroup &group);
 

@@ -92,8 +92,22 @@ PrefetchEngine::credit(Addr lineAddr, Cycle now)
     if (profiler_)
         profiler_->prefetchResolved(lp.trigger, lineAddr, lp.origin,
                                     true);
+    lastCredit_ = {lineAddr, lp.origin, lp.id};
     origins_.erase(it);
     engineMetrics().inFlight.sub(1);
+}
+
+void
+PrefetchEngine::notePartialStall(Addr lineAddr, std::uint64_t cycles,
+                                 PrefetchOrigin origin)
+{
+    (void)lineAddr;
+    ++partialStallEpisodes;
+    partialStallCycles += cycles;
+    partialExposed_.add(cycles);
+    if (origin != PrefetchOrigin::NumOrigins)
+        partialStallByOrigin[static_cast<std::size_t>(origin)] +=
+            cycles;
 }
 
 void
@@ -329,6 +343,10 @@ PrefetchEngine::registerStats(StatGroup &group)
                      "evicted used without an observed use");
     group.addCounter("replaced_inflight", &replacedInFlight,
                      "lifecycles superseded by a re-issue");
+    group.addCounter("partial_stall_episodes", &partialStallEpisodes,
+                     "late prefetches that still stalled fetch");
+    group.addCounter("partial_stall_cycles", &partialStallCycles,
+                     "miss cycles a late prefetch left exposed");
     for (std::size_t i = 0;
          i < static_cast<std::size_t>(PrefetchOrigin::NumOrigins);
          ++i) {
@@ -336,6 +354,8 @@ PrefetchEngine::registerStats(StatGroup &group)
             originName(static_cast<PrefetchOrigin>(i));
         group.addCounter("issued_by." + origin, &issuedByOrigin[i]);
         group.addCounter("useful_by." + origin, &usefulByOrigin[i]);
+        group.addCounter("partial_stall_by." + origin,
+                         &partialStallByOrigin[i]);
     }
     group.addFormula("accuracy", [this] { return accuracy(); },
                      "useful / issued");
@@ -348,12 +368,21 @@ PrefetchEngine::registerStats(StatGroup &group)
                        "prefetch timeliness: issue to first use");
     group.addHistogram("fill_latency_cycles", &fillLatency_,
                        "prefetch issue to fill completion");
+    group.addHistogram("partial_stall_exposed_cycles",
+                       &partialExposed_,
+                       "exposed stall cycles per late prefetch");
     group.addCounter("queue_pushes", &queue_.pushes);
     group.addCounter("queue_hoists", &queue_.hoists);
     group.addCounter("queue_dup_drops", &queue_.duplicateDrops);
     group.addCounter("queue_overflow_drops", &queue_.overflowDrops);
     group.addCounter("queue_demand_invalidations",
                      &queue_.demandInvalidations);
+    group.addFormula("queue_waiting_high_water",
+                     [this] {
+                         return static_cast<double>(
+                             queue_.waitingHighWater());
+                     },
+                     "most waiting prefetches ever queued at once");
 }
 
 } // namespace ipref

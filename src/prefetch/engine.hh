@@ -105,6 +105,30 @@ class PrefetchEngine : public PrefetchEvictionListener
                                bool used) override;
     void instrLineEvicted(CoreId core, Addr lineAddr) override;
 
+    /**
+     * Origin of the lifecycle most recently credited for @p lineAddr,
+     * or NumOrigins when that credit was not the last one (the
+     * lifecycle record is erased at credit time, so the fetch stage
+     * captures this immediately after onDemandFetch() reports a late
+     * prefetch hit, before another credit can overwrite it).
+     */
+    PrefetchOrigin
+    lastCreditedOrigin(Addr lineAddr) const
+    {
+        return lastCredit_.line == lineAddr ? lastCredit_.origin
+                                            : PrefetchOrigin::NumOrigins;
+    }
+
+    /**
+     * The core finished a fetch-stall episode on @p lineAddr whose
+     * in-flight prefetch hid part, but not all, of the miss latency:
+     * @p cycles were still exposed. @p origin comes from
+     * lastCreditedOrigin() captured at stall start (NumOrigins =
+     * unattributed, e.g. a second core sharing the fill).
+     */
+    void notePartialStall(Addr lineAddr, std::uint64_t cycles,
+                          PrefetchOrigin origin);
+
     InstructionPrefetcher *prefetcher() { return prefetcher_.get(); }
     PrefetchQueue &queue() { return queue_; }
 
@@ -122,6 +146,8 @@ class PrefetchEngine : public PrefetchEvictionListener
     Counter uselessPrefetches;  //!< evicted without use
     Counter uncreditedUseful;   //!< evicted used, but use not observed
     Counter replacedInFlight;   //!< lifecycle replaced by a re-issue
+    Counter partialStallEpisodes; //!< late prefetches that still stalled
+    Counter partialStallCycles;   //!< exposed cycles of those episodes
 
     /** Issued / useful fills, attributed to the generating structure. */
     std::array<Counter,
@@ -130,6 +156,11 @@ class PrefetchEngine : public PrefetchEvictionListener
     std::array<Counter,
                static_cast<std::size_t>(PrefetchOrigin::NumOrigins)>
         usefulByOrigin;
+
+    /** Partial-stall cycles attributed to the generating structure. */
+    std::array<Counter,
+               static_cast<std::size_t>(PrefetchOrigin::NumOrigins)>
+        partialStallByOrigin;
 
     /** Prefetch accuracy: useful / issued. */
     double
@@ -213,6 +244,17 @@ class PrefetchEngine : public PrefetchEvictionListener
     std::uint64_t nextPrefetchId_ = 1;
     Log2Histogram issueToUse_;
     Log2Histogram fillLatency_;
+    Log2Histogram partialExposed_;
+
+    /** Lifecycle identity of the most recent credit() — the record
+     *  itself is erased there, so late-hit charge points read this. */
+    struct LastCredit
+    {
+        Addr line = invalidAddr;
+        PrefetchOrigin origin = PrefetchOrigin::Sequential;
+        std::uint64_t id = 0;
+    };
+    LastCredit lastCredit_;
 };
 
 } // namespace ipref

@@ -58,6 +58,8 @@ PrefetchQueue::push(const PrefetchCandidate &cand)
     makeRoom();
     slots_.push_front(Slot{cand, State::Waiting});
     ++waitingCount_;
+    if (waitingCount_ > waitingHighWater_)
+        waitingHighWater_ = waitingCount_;
     return PushResult::Inserted;
 }
 

@@ -65,6 +65,9 @@ class PrefetchQueue
 
     unsigned capacity() const { return capacity_; }
 
+    /** Most waiting entries ever queued at once (backpressure gauge). */
+    unsigned waitingHighWater() const { return waitingHighWater_; }
+
     // Statistics.
     Counter pushes;
     Counter hoists;
@@ -91,6 +94,7 @@ class PrefetchQueue
     std::deque<Slot> slots_; //!< front = newest
     unsigned capacity_;
     unsigned waitingCount_ = 0; //!< slots in State::Waiting
+    unsigned waitingHighWater_ = 0;
 };
 
 } // namespace ipref

@@ -183,6 +183,7 @@ resultsToJson(const SimResults &r)
               first);
     emitArray(os, "pf_issued_by_origin", r.pfIssuedByOrigin, first);
     emitArray(os, "pf_useful_by_origin", r.pfUsefulByOrigin, first);
+    emitArray(os, "cpi_stack", r.cpiStack, first);
     os << "}";
     return os.str();
 }
@@ -212,6 +213,12 @@ resultsFromJson(const JsonValue &v)
                         err) ||
             !parseArray(v, "pf_useful_by_origin", r.pfUsefulByOrigin,
                         err))
+            return SimError(SimError::Kind::Io,
+                            "manifest results: " + err);
+        // Manifests written before cycle accounting existed have no
+        // stack; read them as all-zero rather than rejecting them.
+        if (v.has("cpi_stack") &&
+            !parseArray(v, "cpi_stack", r.cpiStack, err))
             return SimError(SimError::Kind::Io,
                             "manifest results: " + err);
     } catch (const std::exception &e) {

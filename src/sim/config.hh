@@ -17,6 +17,7 @@
 #include "cache/hierarchy.hh"
 #include "cpu/core.hh"
 #include "prefetch/prefetcher.hh"
+#include "sim/cycle_ledger.hh"
 #include "trace/trace_spec.hh"
 #include "workload/presets.hh"
 
@@ -203,6 +204,25 @@ struct SimResults
 
     std::uint64_t branchCtis = 0;
     std::uint64_t branchMispredicts = 0;
+
+    /**
+     * CPI stack: cycles charged to each bucket, summed over all
+     * cores. In timing mode this partitions cycles exactly:
+     * sum == cycles * numCores (every core ticks every cycle) — the
+     * conservation invariant the System enforces at end of run.
+     * All-zero in functional mode (no cycle accounting exists there).
+     */
+    std::array<std::uint64_t, kNumCycleBuckets> cpiStack{};
+
+    /** Sum of every CPI-stack bucket. */
+    std::uint64_t
+    cpiStackTotal() const
+    {
+        std::uint64_t sum = 0;
+        for (std::uint64_t v : cpiStack)
+            sum += v;
+        return sum;
+    }
 
     // --- derived ------------------------------------------------------
     /** L1I demand misses per committed instruction. */

@@ -66,6 +66,28 @@ systemMetrics()
     return refs;
 }
 
+/**
+ * Process-wide CPI-stack telemetry: one monotonic cycle counter per
+ * bucket, summed across all cores of all concurrent timing runs, so
+ * ipref_top can render a live stall breakdown.
+ */
+std::array<metrics::Counter *, kNumCycleBuckets> &
+cpiMetrics()
+{
+    static std::array<metrics::Counter *, kNumCycleBuckets> refs =
+        [] {
+            std::array<metrics::Counter *, kNumCycleBuckets> r{};
+            for (std::size_t i = 0; i < kNumCycleBuckets; ++i)
+                r[i] = &metrics::registry().counter(
+                    std::string("ipref_cpi_") +
+                        cycleBucketName(static_cast<CycleBucket>(i)) +
+                        "_cycles_total",
+                    "core cycles charged to this CPI bucket");
+            return r;
+        }();
+    return refs;
+}
+
 } // namespace
 
 std::string
@@ -128,6 +150,8 @@ SimResults::delta(const SimResults &end, const SimResults &start)
     d.branchCtis = end.branchCtis - start.branchCtis;
     d.branchMispredicts =
         end.branchMispredicts - start.branchMispredicts;
+    for (std::size_t i = 0; i < d.cpiStack.size(); ++i)
+        d.cpiStack[i] = end.cpiStack[i] - start.cpiStack[i];
     return d;
 }
 
@@ -305,6 +329,22 @@ System::publishProgressMetrics(std::uint64_t p)
     }
     metricsLastProgress_ = p;
     metricsNextAt_ = p + kMetricsStride;
+
+    // CPI-stack deltas ride the same stride. The cursor only moves
+    // forward here; the warm-up/measure boundary re-syncs it after
+    // the ledger counters reset (see beginMeasurement()).
+    if (!cores_.empty()) {
+        auto &cm = cpiMetrics();
+        for (std::size_t i = 0; i < kNumCycleBuckets; ++i) {
+            std::uint64_t cur = 0;
+            for (const auto &core : cores_)
+                cur += core->ledger().value(
+                    static_cast<CycleBucket>(i));
+            if (cur > metricsLastStack_[i])
+                cm[i]->add(cur - metricsLastStack_[i]);
+            metricsLastStack_[i] = cur;
+        }
+    }
 }
 
 void
@@ -502,6 +542,9 @@ System::collect() const
         r.branchCtis += core->predictor().ctis.value();
         r.branchMispredicts +=
             core->predictor().mispredicts.value();
+        for (std::size_t i = 0; i < kNumCycleBuckets; ++i)
+            r.cpiStack[i] +=
+                core->ledger().value(static_cast<CycleBucket>(i));
     }
     return r;
 }
@@ -533,6 +576,13 @@ System::beginMeasurement()
     measureCycleBase_ = now_;
     if (!cfg_.functional && !cores_.empty())
         sliceStart_ = cores_[0]->committed();
+
+    // Cycle accounting restarts with the reset ledgers: open stall
+    // episodes forget their pre-boundary cycles (the sink was just
+    // cleared) and the live-metrics cursor re-syncs at zero.
+    for (auto &core : cores_)
+        core->onMeasureBegin();
+    metricsLastStack_.fill(0);
 
     samples_.clear();
     lastSample_ = SimResults{};
@@ -597,12 +647,44 @@ System::run()
         runTiming(target);
     auto t2 = clock::now();
 
+    // Flush the trailing stall episode on every core so the traced
+    // fetch_stall events account for every charged cycle.
+    for (auto &core : cores_)
+        core->finishAccounting(now_);
+
     results_ = collect();
     results_.ipc =
         results_.cycles
             ? static_cast<double>(results_.instructions) /
                   static_cast<double>(results_.cycles)
             : 0.0;
+
+    // Conservation invariant: in timing mode every core charges every
+    // measurement cycle to exactly one bucket, so each ledger totals
+    // the cycle count and the aggregate stack totals cycles * cores.
+    if (!cfg_.functional) {
+        for (const auto &core : cores_) {
+            std::uint64_t total = core->ledger().total();
+            if (total != results_.cycles)
+                ipref_raise(
+                    InvariantError,
+                    "CPI stack does not conserve cycles: core %u "
+                    "charged %llu of %llu measurement cycles",
+                    static_cast<unsigned>(core->id()),
+                    static_cast<unsigned long long>(total),
+                    static_cast<unsigned long long>(results_.cycles));
+        }
+        std::uint64_t want =
+            results_.cycles * static_cast<std::uint64_t>(cfg_.numCores);
+        if (results_.cpiStackTotal() != want)
+            ipref_raise(
+                InvariantError,
+                "CPI stack does not conserve cycles: aggregate %llu "
+                "!= cycles * cores = %llu",
+                static_cast<unsigned long long>(
+                    results_.cpiStackTotal()),
+                static_cast<unsigned long long>(want));
+    }
     profile_.measureSeconds = seconds(t1, t2);
     profile_.measureInstructions = results_.instructions;
 
@@ -743,6 +825,25 @@ System::dumpJson(std::ostream &os) const
     }
     os << "}\n  },\n";
 
+    // --- CPI stack ---------------------------------------------------
+    // Bucket cycles sum exactly to cycles * cores in timing mode (the
+    // run-time invariant); all-zero in functional mode, flagged by
+    // "timing": false so consumers skip the cross-check.
+    os << "  \"cpi_stack\": {\n"
+       << "    \"timing\": " << (cfg_.functional ? "false" : "true")
+       << ",\n"
+       << "    \"cores\": " << cfg_.numCores << ",\n"
+       << "    \"cycles\": " << r.cycles << ",\n"
+       << "    \"total\": " << r.cpiStackTotal() << ",\n"
+       << "    \"buckets\": {";
+    for (std::size_t i = 0; i < kNumCycleBuckets; ++i) {
+        os << (i ? ", " : "")
+           << jsonString(
+                  cycleBucketName(static_cast<CycleBucket>(i)))
+           << ": " << r.cpiStack[i];
+    }
+    os << "}\n  },\n";
+
     // --- interval samples --------------------------------------------
     os << "  \"intervals\": [";
     for (std::size_t i = 0; i < samples_.size(); ++i) {
@@ -758,7 +859,11 @@ System::dumpJson(std::ostream &os) const
            << ", \"pf_issued\": " << s.delta.pfIssued
            << ", \"pf_useful\": " << s.delta.pfUseful
            << ", \"pf_late\": " << s.delta.pfLate
-           << ", \"mem_reads\": " << s.delta.memReads << "}";
+           << ", \"mem_reads\": " << s.delta.memReads
+           << ", \"cpi_stack\": [";
+        for (std::size_t b = 0; b < kNumCycleBuckets; ++b)
+            os << (b ? ", " : "") << s.delta.cpiStack[b];
+        os << "]}";
     }
     os << (samples_.empty() ? "" : "\n  ") << "],\n";
 

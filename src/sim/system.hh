@@ -8,6 +8,7 @@
 #ifndef IPREF_SIM_SYSTEM_HH
 #define IPREF_SIM_SYSTEM_HH
 
+#include <array>
 #include <memory>
 #include <ostream>
 #include <vector>
@@ -197,6 +198,8 @@ class System
     std::uint64_t metricsLastProgress_ = 0;
     std::uint64_t metricsNextAt_ = 0;
     bool metricsInMeasure_ = false;
+    /** Last CPI-stack totals published to the process-wide gauges. */
+    std::array<std::uint64_t, kNumCycleBuckets> metricsLastStack_{};
 };
 
 } // namespace ipref

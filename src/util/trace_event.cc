@@ -25,6 +25,7 @@ traceEventName(TraceEventType type)
       case TraceEventType::DiscAlloc: return "disc_alloc";
       case TraceEventType::DiscEvict: return "disc_evict";
       case TraceEventType::DiscHit: return "disc_hit";
+      case TraceEventType::FetchStall: return "fetch_stall";
       case TraceEventType::NumTypes: break;
     }
     return "unknown";

@@ -45,6 +45,8 @@ enum class TraceEventType : std::uint8_t
     DiscAlloc,       //!< discontinuity-table allocation (arg = target)
     DiscEvict,       //!< discontinuity-table replacement (arg = target)
     DiscHit,         //!< discontinuity-table probe hit (arg = target)
+    FetchStall,      //!< fetch-stall episode ended (arg = cycles
+                     //!< charged, detail = CycleBucket id)
     NumTypes
 };
 

@@ -102,6 +102,26 @@ printSummary(const TraceAnalysis &a, std::size_t topN)
         }
     }
 
+    if (std::uint64_t stallTotal = a.stallCycleTotal()) {
+        std::cout << "\nfetch-stall breakdown (event-derived, "
+                  << stallTotal << " stall cycles):\n";
+        for (std::size_t b = 1; b < kNumCycleBuckets; ++b) {
+            if (a.stallCycles[b] == 0)
+                continue;
+            std::cout << "  " << std::setw(16) << std::left
+                      << cycleBucketName(static_cast<CycleBucket>(b))
+                      << std::right << std::setw(10)
+                      << a.stallCycles[b] << " cycles in "
+                      << std::setw(8) << a.stallEpisodes[b]
+                      << " episodes  (" << std::fixed
+                      << std::setprecision(1)
+                      << 100.0 *
+                             static_cast<double>(a.stallCycles[b]) /
+                             static_cast<double>(stallTotal)
+                      << "%)\n";
+        }
+    }
+
     if (a.total.issued > 0) {
         std::cout << "\nprefetch lifecycles (event-derived):\n";
         auto row = [](const std::string &name,

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "sim/campaign.hh"
+#include "sim/cycle_ledger.hh"
 #include "util/metrics.hh"
 #include "util/options.hh"
 
@@ -254,6 +255,48 @@ render(const std::vector<metrics::Snapshot> &snaps,
        << counterOr(last, "ipref_sim_measure_instructions_total")
        << "  runs in flight "
        << gaugeOr(last, "ipref_sim_active_runs") << "\n";
+
+    // --- CPI stack (timing runs only; absent counters stay hidden) ---
+    // One stacked bar over the cumulative per-bucket cycle counters:
+    // each bucket paints its share of the width with its glyph.
+    static const char bucketGlyph[kNumCycleBuckets] = {
+        '.', '1', '2', 'M', 'P', 'R', 'Q', 'T', 'D'};
+    std::array<std::uint64_t, kNumCycleBuckets> stack{};
+    std::uint64_t stackTotal = 0;
+    for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+        stack[b] = counterOr(
+            last, std::string("ipref_cpi_") +
+                      cycleBucketName(static_cast<CycleBucket>(b)) +
+                      "_cycles_total");
+        stackTotal += stack[b];
+    }
+    if (stackTotal) {
+        constexpr std::size_t width = 40;
+        std::string bar;
+        std::uint64_t acc = 0;
+        for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+            acc += stack[b];
+            // Cumulative rounding keeps the bar exactly `width`
+            // glyphs and deterministic for --once golden output.
+            std::size_t end = static_cast<std::size_t>(
+                static_cast<double>(acc) * width /
+                static_cast<double>(stackTotal));
+            while (bar.size() < end)
+                bar += bucketGlyph[b];
+        }
+        os << "  cpi       [" << bar << "]";
+        for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+            if (!stack[b])
+                continue;
+            os << "  " << bucketGlyph[b] << "="
+               << cycleBucketName(static_cast<CycleBucket>(b)) << " ";
+            os.precision(1);
+            os << 100.0 * static_cast<double>(stack[b]) /
+                      static_cast<double>(stackTotal)
+               << "%";
+        }
+        os << "\n";
+    }
 
     std::cout << os.str() << std::flush;
 }
